@@ -1,0 +1,295 @@
+package ndetect
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper, plus the ablation benches DESIGN.md §6 calls out. Each table bench
+// exercises exactly the code path cmd/paper uses to regenerate that table,
+// on a trimmed circuit list / K so `go test -bench=.` stays laptop-sized;
+// cmd/paper runs the full sweep (`-k5 10000 -k6 1000 -ge11cap 0` for
+// paper-scale statistics).
+
+import (
+	"testing"
+
+	"ndetect/internal/bench"
+	"ndetect/internal/bitset"
+	"ndetect/internal/encode"
+	"ndetect/internal/exp"
+	core "ndetect/internal/ndetect"
+	"ndetect/internal/sim"
+	"ndetect/internal/synth"
+)
+
+// ---- Table and figure benches ------------------------------------------
+
+// BenchmarkTable2 regenerates Table 2 rows (worst-case coverage CDF) for a
+// representative circuit spread: tiny (lion), mid (bbara), large-tail
+// (dvram).
+func BenchmarkTable2(b *testing.B) {
+	cfg := exp.Config{Circuits: []string{"lion", "bbara", "dvram"}}
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 rows (worst-case tail counts) for two
+// tail circuits.
+func BenchmarkTable3(b *testing.B) {
+	cfg := exp.Config{Circuits: []string{"log", "fetch"}}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table3(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 histogram for dvram.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.Figure2("dvram", 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates a Table 5 row (average case, Definition 1) at
+// reduced K.
+func BenchmarkTable5(b *testing.B) {
+	cfg := exp.Config{Circuits: []string{"bbara", "log"}, K5: 100, Ge11Limit: 100}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table5(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates a Table 6 row (Definition 1 vs 2) at reduced K.
+func BenchmarkTable6(b *testing.B) {
+	cfg := exp.Config{Circuits: []string{"bbara"}, K6: 50, Ge11Limit: 50}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Table6(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorstCaseExample runs the worst-case analysis on the paper's
+// published Table 1 detection sets.
+func BenchmarkWorstCaseExample(b *testing.B) {
+	mk := func(members ...int) *bitset.Set { return bitset.FromMembers(16, members...) }
+	u := &Universe{
+		Size: 16,
+		Targets: []Fault{
+			{Name: "1/1", T: mk(4, 5, 6, 7)},
+			{Name: "2/0", T: mk(6, 7, 12, 13, 14, 15)},
+			{Name: "3/0", T: mk(2, 6, 7, 10, 14, 15)},
+			{Name: "8/0", T: mk(2, 6, 10, 14)},
+			{Name: "9/1", T: mk(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)},
+			{Name: "10/0", T: mk(6, 7, 14, 15)},
+			{Name: "11/0", T: mk(1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15)},
+		},
+		Untargeted: []Fault{{Name: "(9,0,10,1)", T: mk(6, 7)}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wc := WorstCase(u)
+		if wc.NMin[0] != 3 {
+			b.Fatalf("nmin = %d, want 3", wc.NMin[0])
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §6) -------------------------------------
+
+func mustCircuit(b *testing.B, name string) *Circuit {
+	b.Helper()
+	bm, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	r, err := bm.SynthesizeDefault()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.Circuit
+}
+
+// BenchmarkExhaustiveParallel measures 64-way bit-parallel exhaustive
+// simulation (the production path).
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveNaive measures scalar per-vector simulation (the
+// ablation baseline).
+func BenchmarkExhaustiveNaive(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.NaiveExhaustive(c)
+	}
+}
+
+// BenchmarkTSetsViaPropMasks measures T-set extraction through shared
+// flip-propagation masks (the production path).
+func BenchmarkTSetsViaPropMasks(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	e, err := sim.Run(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := allStuckAt(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.StuckAtTSets(faults)
+	}
+}
+
+// BenchmarkTSetsPerFault measures per-fault scalar resimulation (the
+// ablation baseline) on a slice of the fault list.
+func BenchmarkTSetsPerFault(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	faults := allStuckAt(c)
+	if len(faults) > 40 {
+		faults = faults[:40] // the naive path is ~1000× slower; sample it
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range faults {
+			sim.NaiveStuckAtTSet(c, f)
+		}
+	}
+}
+
+func allStuckAt(c *Circuit) []StuckAt {
+	u, err := Analyze(c)
+	if err != nil {
+		panic(err)
+	}
+	return u.StuckAt
+}
+
+// BenchmarkProcedure1Def1 measures random test set construction under plain
+// detection counting.
+func BenchmarkProcedure1Def1(b *testing.B) {
+	u, err := LoadBenchmark("bbara")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Procedure1(&u.Universe, Procedure1Options{NMax: 10, K: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcedure1Def2 measures the same construction under Definition 2
+// (similarity-filtered counting via 3-valued simulation).
+func BenchmarkProcedure1Def2(b *testing.B) {
+	u, err := LoadBenchmark("bbara")
+	if err != nil {
+		b.Fatal(err)
+	}
+	checker := NewDef2Checker(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Procedure1Options{NMax: 10, K: 20, Seed: 1, Definition: Def2, Checker: checker}
+		if _, err := Procedure1(&u.Universe, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodings compares synthesis + universe construction across
+// state encodings (DESIGN.md §6: encoding shapes the circuit and so the
+// nmin distribution).
+func BenchmarkEncodings(b *testing.B) {
+	bm, _ := bench.ByName("beecount")
+	m, err := bm.STG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, style := range []string{encode.Binary, encode.Gray, encode.OneHot} {
+		b.Run(style, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := synth.Synthesize(m, synth.Options{EncodingStyle: style, MultiLevel: true, MaxFanin: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				u, err := core.FromCircuit(r.Circuit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.WorstCase(&u.Universe)
+			}
+		})
+	}
+}
+
+// BenchmarkTwoLevelVsMultiLevel compares the synthesis styles end to end —
+// the ablation behind the multi-level decision (two-level mapping collapses
+// nearly every bridge to nmin = 1; see synth/multilevel.go).
+func BenchmarkTwoLevelVsMultiLevel(b *testing.B) {
+	bm, _ := bench.ByName("bbara")
+	m, err := bm.STG()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts synth.Options
+	}{
+		{"two-level", synth.Options{}},
+		{"multi-level", synth.Options{MultiLevel: true, MaxFanin: 4}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := synth.Synthesize(m, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				u, err := core.FromCircuit(r.Circuit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.WorstCase(&u.Universe)
+			}
+		})
+	}
+}
+
+// BenchmarkSetSizeGrowth records mean n-detection test set sizes across n
+// (the paper's premise that size grows roughly linearly with n).
+func BenchmarkSetSizeGrowth(b *testing.B) {
+	u, err := LoadBenchmark("opus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Procedure1(&u.Universe, Procedure1Options{NMax: 10, K: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("mean sizes: n=1 %.1f, n=5 %.1f, n=10 %.1f",
+				res.MeanSetSize(1), res.MeanSetSize(5), res.MeanSetSize(10))
+		}
+	}
+}

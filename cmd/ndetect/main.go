@@ -1,0 +1,266 @@
+// Command ndetect analyses one circuit: it builds the paper's fault
+// universes (collapsed stuck-at targets, four-way bridging untargeted
+// faults), runs the worst-case nmin analysis and optionally the
+// average-case Procedure 1 estimate, and prints a summary.
+//
+// The circuit comes from one of:
+//
+//	-bench NAME     an embedded benchmark (see -list)
+//	-netlist FILE   a text netlist (circuit/input/output/gate statements)
+//	-kiss2 FILE     a KISS2 FSM, synthesized first
+//
+// Examples:
+//
+//	ndetect -bench bbara
+//	ndetect -bench dvram -hist 100
+//	ndetect -netlist adder.net -avg -k 500
+//	ndetect -kiss2 machine.kiss2 -avg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ndetect/internal/bench"
+	"ndetect/internal/circuit"
+	"ndetect/internal/kiss"
+	"ndetect/internal/ndetect"
+	"ndetect/internal/partition"
+	"ndetect/internal/report"
+	"ndetect/internal/synth"
+)
+
+func main() {
+	var (
+		benchF   = flag.String("bench", "", "embedded benchmark name")
+		netF     = flag.String("netlist", "", "netlist file")
+		kissF    = flag.String("kiss2", "", "KISS2 FSM file (synthesized before analysis)")
+		listF    = flag.Bool("list", false, "list embedded benchmarks and exit")
+		avgF     = flag.Bool("avg", false, "also run the average-case analysis (Procedure 1)")
+		def2F    = flag.Bool("def2", false, "use Definition 2 in the average-case analysis")
+		kF       = flag.Int("k", 1000, "test sets per n for -avg")
+		nmaxF    = flag.Int("nmax", 10, "deepest n-detection level")
+		seedF    = flag.Int64("seed", 1, "RNG seed for -avg")
+		histF    = flag.Int("hist", 0, "print the nmin histogram from this cutoff (0 = off)")
+		worstF   = flag.Int("worst", 10, "show the hardest N untargeted faults")
+		partF    = flag.Int("partition", 0, "partition into ≤N-input cones before analysis (0 = off)")
+		twoLevel = flag.Bool("two-level", false, "use two-level PLA synthesis for -kiss2/-bench")
+	)
+	flag.Parse()
+
+	if *listF {
+		for _, b := range bench.All() {
+			src := "synthetic"
+			if b.Handwritten {
+				src = "handwritten"
+			}
+			fmt.Printf("%-10s %2d in, %2d out, %2d states (%s)\n", b.Name, b.Inputs, b.Outputs, b.States, src)
+		}
+		return
+	}
+
+	c, err := loadCircuit(*benchF, *netF, *kissF, *twoLevel)
+	if err != nil {
+		fail(err)
+	}
+
+	if *partF > 0 {
+		analyzePartitioned(c, *partF)
+		return
+	}
+
+	u, err := ndetect.FromCircuit(c)
+	if err != nil {
+		fail(err)
+	}
+	stats := c.ComputeStats()
+	fmt.Printf("circuit %s: %s\n", c.Name, stats)
+	fmt.Printf("targets |F| = %d collapsed stuck-at faults (%d detectable)\n",
+		len(u.Targets), u.DetectableTargets())
+	fmt.Printf("untargeted |G| = %d detectable non-feedback four-way bridging faults\n\n", len(u.Untargeted))
+
+	wc := ndetect.WorstCase(&u.Universe)
+	fmt.Println("worst-case analysis (Section 2):")
+	for _, n := range report.NMinColumns {
+		fmt.Printf("  nmin(g) ≤ %-3d : %6.2f%% of G guaranteed by any %d-detection test set\n",
+			n, 100*wc.CoverageAt(n), n)
+	}
+	for _, n := range report.Table3Columns {
+		cnt := wc.CountAtLeast(n)
+		fmt.Printf("  nmin(g) ≥ %-3d : %d faults (%.2f%%)\n", n, cnt, pct(cnt, len(u.Untargeted)))
+	}
+	unbounded := wc.CountAtLeast(ndetect.Unbounded)
+	if unbounded > 0 {
+		fmt.Printf("  no guarantee   : %d faults (no target fault's tests overlap theirs)\n", unbounded)
+	}
+	fmt.Printf("  largest finite nmin: %d\n\n", wc.MaxFinite())
+
+	if *worstF > 0 {
+		printWorst(u, wc, *worstF)
+	}
+
+	if *histF > 0 {
+		values, counts := wc.Histogram(*histF)
+		fmt.Println(report.FormatFigure2(c.Name, *histF, values, counts, unbounded))
+	}
+
+	if *avgF {
+		runAverage(u, wc, *kF, *nmaxF, *seedF, *def2F)
+	}
+}
+
+func loadCircuit(benchName, netFile, kissFile string, twoLevel bool) (*circuit.Circuit, error) {
+	sources := 0
+	for _, s := range []string{benchName, netFile, kissFile} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("specify exactly one of -bench, -netlist, -kiss2 (see -h)")
+	}
+	switch {
+	case benchName != "":
+		b, ok := bench.ByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q; known: %s", benchName, strings.Join(bench.Names(), " "))
+		}
+		opts := bench.DefaultOptions()
+		if twoLevel {
+			opts.MultiLevel = false
+		}
+		r, err := b.Synthesize(opts)
+		if err != nil {
+			return nil, err
+		}
+		return r.Circuit, nil
+	case netFile != "":
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.Parse(f)
+	default:
+		f, err := os.Open(kissFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := kiss.Parse(kissFile, f)
+		if err != nil {
+			return nil, err
+		}
+		opts := synth.Options{MultiLevel: !twoLevel, MaxFanin: 4}
+		r, err := synth.Synthesize(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		return r.Circuit, nil
+	}
+}
+
+func printWorst(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, n int) {
+	type hard struct {
+		j, nmin int
+	}
+	var hs []hard
+	for j, v := range wc.NMin {
+		hs = append(hs, hard{j, v})
+	}
+	for i := 1; i < len(hs); i++ {
+		for k := i; k > 0 && hs[k].nmin > hs[k-1].nmin; k-- {
+			hs[k], hs[k-1] = hs[k-1], hs[k]
+		}
+	}
+	if n > len(hs) {
+		n = len(hs)
+	}
+	fmt.Printf("hardest %d untargeted faults:\n", n)
+	for _, h := range hs[:n] {
+		nm := fmt.Sprint(h.nmin)
+		if h.nmin == ndetect.Unbounded {
+			nm = "∞"
+		}
+		fmt.Printf("  %-28s nmin = %-6s |T(g)| = %d\n",
+			u.Untargeted[h.j].Name, nm, u.Untargeted[h.j].T.Count())
+	}
+	fmt.Println()
+}
+
+func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax int, seed int64, def2 bool) {
+	idx := wc.IndicesAtLeast(nmax + 1)
+	if len(idx) == 0 {
+		fmt.Printf("average-case analysis: every untargeted fault is guaranteed at n ≤ %d; nothing to estimate\n", nmax)
+		return
+	}
+	sub := u.SubsetUntargeted(idx)
+	opts := ndetect.Procedure1Options{NMax: nmax, K: k, Seed: seed}
+	label := "Definition 1"
+	if def2 {
+		opts.Definition = ndetect.Def2
+		opts.Checker = ndetect.NewCircuitCheckerFor(u)
+		label = "Definition 2"
+	}
+	res, err := ndetect.Procedure1(sub, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("average-case analysis (%s, K=%d) over the %d faults with nmin > %d:\n",
+		label, k, len(idx), nmax)
+	counts := res.ThresholdCounts(nmax)
+	for i, th := range report.Thresholds {
+		fmt.Printf("  p(%d,g) ≥ %.1f : %d faults\n", nmax, th, counts[i])
+	}
+	minP, at := res.MinP(nmax)
+	fmt.Printf("  lowest p(%d,g) = %.3f (%s)\n", nmax, minP, sub.Untargeted[at].Name)
+	fmt.Printf("  expected escapes from an arbitrary %d-detection test set: %.2f faults\n",
+		nmax, res.ExpectedEscapes(nmax))
+	fmt.Printf("  mean %d-detection test set size: %.1f vectors\n", nmax, res.MeanSetSize(nmax))
+}
+
+func analyzePartitioned(c *circuit.Circuit, maxIn int) {
+	parts, err := partition.Split(c, partition.Options{MaxInputs: maxIn})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("circuit %s partitioned into %d parts (input limit %d):\n", c.Name, len(parts), maxIn)
+	var perPart []map[string]int
+	for i, p := range parts {
+		u, err := ndetect.FromCircuit(p.Circuit)
+		if err != nil {
+			fail(err)
+		}
+		wc := ndetect.WorstCase(&u.Universe)
+		fmt.Printf("  part %d: outputs %v, %d inputs, |G| = %d, coverage at n=10: %.2f%%\n",
+			i, p.Outputs, p.Circuit.NumInputs(), len(u.Untargeted), 100*wc.CoverageAt(10))
+		m := make(map[string]int, len(u.Untargeted))
+		for j, g := range u.Untargeted {
+			m[g.Name] = wc.NMin[j]
+		}
+		perPart = append(perPart, m)
+	}
+	merged := partition.MergeNMin(perPart)
+	guaranteed := 0
+	for _, v := range merged {
+		if v <= 10 {
+			guaranteed++
+		}
+	}
+	fmt.Printf("merged: %d distinct bridging faults seen, %d (%.2f%%) guaranteed at n ≤ 10\n",
+		len(merged), guaranteed, pct(guaranteed, len(merged)))
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ndetect:", err)
+	os.Exit(1)
+}

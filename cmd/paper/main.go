@@ -1,0 +1,205 @@
+// Command paper regenerates the evaluation of "Worst-Case and Average-Case
+// Analysis of n-Detection Test Sets" (Pomeranz & Reddy, DATE 2005) on the
+// embedded benchmark suite: Tables 2, 3, 5 and 6 and Figure 2.
+//
+// Usage:
+//
+//	paper [flags]
+//
+//	-table   which tables to produce: "2", "3", "5", "6", "all", or a
+//	         comma list (default "2,3")
+//	-figure2 circuit whose nmin distribution to plot (default "dvram";
+//	         "" disables)
+//	-circuits comma-separated circuit subset (default: all 35)
+//	-k5      test sets per n for Table 5 (paper: 10000; default 1000)
+//	-k6      test sets per n for Table 6 (paper: 1000; default 200)
+//	-nmax    deepest n-detection level (default 10)
+//	-seed    RNG seed (default 1)
+//	-ge11cap cap on the nmin≥11 subset per circuit for Tables 5/6
+//	         (0 = no cap; default 500)
+//	-compare also print the paper's published rows for side-by-side reading
+//	-csv     emit CSV instead of formatted tables
+//	-v       progress to stderr
+//
+// Runtime scales with k5/k6; the defaults finish in a few minutes on a
+// laptop. Paper-scale statistics: -k5 10000 -k6 1000 -ge11cap 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ndetect/internal/bench"
+	"ndetect/internal/exp"
+	"ndetect/internal/report"
+)
+
+func main() {
+	var (
+		tableF   = flag.String("table", "2,3", `tables to produce: "2","3","5","6","all" or comma list`)
+		figure2F = flag.String("figure2", "dvram", "circuit for the Figure 2 histogram (empty disables)")
+		circF    = flag.String("circuits", "", "comma-separated circuit subset (default all)")
+		k5F      = flag.Int("k5", 1000, "test sets per n for Table 5 (paper: 10000)")
+		k6F      = flag.Int("k6", 200, "test sets per n for Table 6 (paper: 1000)")
+		nmaxF    = flag.Int("nmax", 10, "deepest n-detection level")
+		seedF    = flag.Int64("seed", 1, "RNG seed")
+		capF     = flag.Int("ge11cap", 500, "cap on nmin≥11 subset per circuit for Tables 5/6 (0 = none)")
+		compareF = flag.Bool("compare", false, "also print the paper's published rows")
+		csvF     = flag.Bool("csv", false, "emit CSV")
+		verboseF = flag.Bool("v", false, "progress to stderr")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, t := range strings.Split(*tableF, ",") {
+		t = strings.TrimSpace(t)
+		if t == "all" {
+			want["2"], want["3"], want["5"], want["6"] = true, true, true, true
+			continue
+		}
+		if t != "" {
+			want[t] = true
+		}
+	}
+
+	cfg := exp.Config{
+		NMax:      *nmaxF,
+		K5:        *k5F,
+		K6:        *k6F,
+		Seed:      *seedF,
+		Ge11Limit: *capF,
+	}
+	if *circF != "" {
+		for _, c := range strings.Split(*circF, ",") {
+			c = strings.TrimSpace(c)
+			if _, ok := bench.ByName(c); !ok {
+				fmt.Fprintf(os.Stderr, "unknown circuit %q; known: %s\n", c, strings.Join(bench.Names(), " "))
+				os.Exit(2)
+			}
+			cfg.Circuits = append(cfg.Circuits, c)
+		}
+	}
+
+	fig2 := *figure2F
+	if fig2 != "" {
+		if _, ok := bench.ByName(fig2); !ok {
+			fmt.Fprintf(os.Stderr, "unknown -figure2 circuit %q\n", fig2)
+			os.Exit(2)
+		}
+		if len(cfg.Circuits) > 0 && !contains(cfg.Circuits, fig2) {
+			fig2 = "" // subset excludes it
+		}
+	}
+
+	start := time.Now()
+	var observe func(string)
+	if *verboseF {
+		observe = func(name string) {
+			fmt.Fprintf(os.Stderr, "[%6.1fs] %s done\n", time.Since(start).Seconds(), name)
+		}
+	}
+
+	res, err := exp.RunAll(cfg, fig2, want["5"], want["6"], observe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	if want["2"] {
+		if *csvF {
+			fmt.Print(report.CSVTable2(res.Table2))
+		} else {
+			fmt.Println(report.FormatTable2(res.Table2))
+		}
+		if *compareF {
+			fmt.Println(paperTable2())
+		}
+	}
+	if want["3"] {
+		if *csvF {
+			fmt.Print(report.CSVTable3(res.Table3))
+		} else {
+			fmt.Println(report.FormatTable3(res.Table3))
+		}
+		if *compareF {
+			fmt.Println(paperTable3())
+		}
+	}
+	if fig2 != "" {
+		fmt.Println(res.Figure2)
+	}
+	if want["5"] {
+		if *csvF {
+			fmt.Print(report.CSVTable5(res.Table5))
+		} else {
+			fmt.Println(report.FormatTable5(res.Table5))
+		}
+		if *compareF {
+			fmt.Println(paperTable5())
+		}
+	}
+	if want["6"] {
+		fmt.Println(report.FormatTable6(res.Table6))
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// paperTable2 renders the published Table 2 for comparison.
+func paperTable2() string {
+	var rows []report.Table2Row
+	for _, b := range bench.All() {
+		p, ok := bench.PaperTable2[b.Name]
+		if !ok {
+			continue
+		}
+		r := report.Table2Row{Circuit: b.Name, Faults: p.Faults}
+		copy(r.Pct[:], p.Pct[:])
+		rows = append(rows, r)
+	}
+	return "[paper] " + report.FormatTable2(rows)
+}
+
+func paperTable3() string {
+	var rows []report.Table3Row
+	for _, b := range bench.All() {
+		p, ok := bench.PaperTable3[b.Name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, report.Table3Row{
+			Circuit: b.Name, Faults: p.Faults, Ge100: p.Ge100, Ge20: p.Ge20, Ge11: p.Ge11,
+		})
+	}
+	return "[paper] " + report.FormatTable3(rows)
+}
+
+func paperTable5() string {
+	var rows []report.Table5Row
+	for _, name := range bench.Table5Circuits {
+		p, ok := bench.PaperTable5[name]
+		if !ok {
+			continue
+		}
+		r := report.Table5Row{Circuit: name, Faults: p.Faults}
+		for i, c := range p.Counts {
+			if c < 0 {
+				r.Counts[i] = p.Faults // blank cell: all faults above threshold
+			} else {
+				r.Counts[i] = c
+			}
+		}
+		rows = append(rows, r)
+	}
+	return "[paper] " + report.FormatTable5(rows)
+}

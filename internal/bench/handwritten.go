@@ -1,0 +1,250 @@
+package bench
+
+import "fmt"
+
+// Hand-written surrogate machines for the small classical benchmarks. Each
+// matches the published input/output/state counts of its MCNC namesake and
+// implements comparable semantics (direction detectors, counters, small
+// controllers), but is NOT the original MCNC source — see DESIGN.md §4.
+
+// lionHW: 2 inputs (two cage sensors), 1 output, 4 states. A quadrature
+// direction detector in the spirit of the original "lion" machine.
+const lionHW = `
+.i 2
+.o 1
+.s 4
+.r st0
+00 st0 st0 0
+01 st0 st1 0
+11 st1 st1 0
+01 st1 st1 0
+00 st1 st0 0
+10 st1 st2 1
+11 st2 st2 1
+10 st2 st2 1
+00 st2 st3 1
+01 st3 st1 0
+00 st3 st0 1
+10 st3 st3 1
+.e
+`
+
+// train4HW: 2 inputs (two track sensors), 1 output, 4 states: tracks a
+// train passing in either direction.
+const train4HW = `
+.i 2
+.o 1
+.s 4
+.r stA
+00 stA stA 0
+10 stA stB 1
+01 stA stC 1
+11 stB stB 1
+10 stB stB 1
+01 stB stD 1
+11 stC stC 1
+01 stC stC 1
+10 stC stD 1
+00 stD stA 0
+11 stD stD 1
+.e
+`
+
+// bbtasHW: 2 inputs, 2 outputs, 6 states: a small task controller cycling
+// through request/grant phases.
+const bbtasHW = `
+.i 2
+.o 2
+.s 6
+.r s0
+00 s0 s0 00
+01 s0 s1 00
+10 s0 s2 01
+11 s0 s1 01
+0- s1 s3 10
+1- s1 s4 10
+-0 s2 s4 01
+-1 s2 s5 01
+00 s3 s0 11
+01 s3 s3 10
+1- s3 s5 11
+-- s4 s5 00
+0- s5 s0 11
+1- s5 s3 01
+.e
+`
+
+// dk27HW: 1 input, 2 outputs, 7 states: a 7-phase sequencer whose input
+// chooses between stepping and skipping.
+const dk27HW = `
+.i 1
+.o 2
+.s 7
+.r p0
+0 p0 p1 00
+1 p0 p2 01
+0 p1 p2 01
+1 p1 p3 00
+0 p2 p3 10
+1 p2 p4 00
+0 p3 p4 00
+1 p3 p5 10
+0 p4 p5 11
+1 p4 p6 01
+0 p5 p6 01
+1 p5 p0 11
+0 p6 p0 10
+1 p6 p1 11
+.e
+`
+
+// mcHW: 3 inputs, 5 outputs, 4 states: a miniature memory-controller-like
+// machine (idle/read/write/refresh).
+const mcHW = `
+.i 3
+.o 5
+.s 4
+.r idle
+0-- idle idle 00000
+100 idle rd 10001
+101 idle wr 01001
+11- idle rf 00101
+-0- rd rd 10000
+-1- rd idle 10010
+0-- wr wr 01000
+1-- wr idle 01010
+--0 rf rf 00100
+--1 rf idle 00110
+.e
+`
+
+// tavHW: 4 inputs, 4 outputs, 4 states: a rotating arbiter granting one of
+// four requesters.
+const tavHW = `
+.i 4
+.o 4
+.s 4
+.r a0
+1--- a0 a1 1000
+01-- a0 a2 0100
+001- a0 a3 0010
+0001 a0 a0 0001
+0000 a0 a0 0000
+-1-- a1 a2 0100
+-01- a1 a3 0010
+-000 a1 a1 1000
+-001 a1 a0 0001
+--1- a2 a3 0010
+--01 a2 a0 0001
+--00 a2 a2 0100
+---1 a3 a0 0001
+---0 a3 a3 0010
+.e
+`
+
+// s8HW: 4 inputs, 1 output, 5 states: recognizes the nibble sequence whose
+// bits descend through the states; resets on mismatch.
+const s8HW = `
+.i 4
+.o 1
+.s 5
+.r q0
+1--- q0 q1 0
+0--- q0 q0 0
+-1-- q1 q2 0
+-0-- q1 q0 0
+--1- q2 q3 0
+--0- q2 q0 0
+---1 q3 q4 1
+---0 q3 q0 0
+---- q4 q0 1
+.e
+`
+
+// firstexHW: 3 inputs, 2 outputs, 6 states: the "first example" style
+// controller used for illustration.
+const firstexHW = `
+.i 3
+.o 2
+.s 6
+.r e0
+0-- e0 e0 00
+10- e0 e1 01
+11- e0 e2 10
+--0 e1 e3 01
+--1 e1 e4 11
+-0- e2 e4 00
+-1- e2 e5 10
+0-- e3 e0 11
+1-- e3 e1 00
+-00 e4 e2 01
+-01 e4 e5 11
+-1- e4 e0 10
+--- e5 e3 01
+.e
+`
+
+// mkUpDownCounter builds a 2-input, 1-output machine with the given number
+// of positions: input 01 steps up, 10 steps down, 00/11 hold; the output is
+// high in the upper half. Used for lion9 (9 states) and train11 (11).
+func mkUpDownCounter(states int) string {
+	src := ".i 2\n.o 1\n.r c0\n"
+	out := func(i int) string {
+		if i >= states/2 {
+			return "1"
+		}
+		return "0"
+	}
+	for i := 0; i < states; i++ {
+		up := (i + 1) % states
+		down := (i + states - 1) % states
+		src += fmt.Sprintf("01 c%d c%d %s\n", i, up, out(up))
+		src += fmt.Sprintf("10 c%d c%d %s\n", i, down, out(down))
+		src += fmt.Sprintf("00 c%d c%d %s\n", i, i, out(i))
+		src += fmt.Sprintf("11 c%d c%d %s\n", i, i, out(i))
+	}
+	return src + ".e\n"
+}
+
+// mkModCounter builds a 1-input, 1-output modulo counter: input 1 steps,
+// input 0 holds; the output pulses on wrap-around.
+func mkModCounter(states int) string {
+	src := ".i 1\n.o 1\n.r c0\n"
+	for i := 0; i < states; i++ {
+		next := (i + 1) % states
+		wrap := "0"
+		if next == 0 {
+			wrap = "1"
+		}
+		src += fmt.Sprintf("1 c%d c%d %s\n", i, next, wrap)
+		src += fmt.Sprintf("0 c%d c%d 0\n", i, i)
+	}
+	return src + ".e\n"
+}
+
+// mkJohnsonRing builds a 2-input machine stepping a ring of the given
+// length; one input enables stepping, the other reverses. Output is a
+// one-bit position parity. Used for donfile (24 states) and dk512-like
+// shapes when a handwritten variant is preferred over the generator.
+func mkJohnsonRing(states, outputs int) string {
+	src := fmt.Sprintf(".i 2\n.o %d\n.r r0\n", outputs)
+	outPat := func(i int) string {
+		buf := make([]byte, outputs)
+		for k := range buf {
+			if (i>>uint(k))&1 == 1 {
+				buf[k] = '1'
+			} else {
+				buf[k] = '0'
+			}
+		}
+		return string(buf)
+	}
+	for i := 0; i < states; i++ {
+		up := (i + 1) % states
+		down := (i + states - 1) % states
+		src += fmt.Sprintf("10 r%d r%d %s\n", i, up, outPat(up))
+		src += fmt.Sprintf("11 r%d r%d %s\n", i, down, outPat(down))
+		src += fmt.Sprintf("0- r%d r%d %s\n", i, i, outPat(i))
+	}
+	return src + ".e\n"
+}

@@ -1,0 +1,41 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits a Graphviz rendering of the netlist. Branch nodes are drawn
+// as small points so fanout structure stays visible without clutter.
+func (c *Circuit) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", c.Name)
+	outputSet := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		outputSet[o] = true
+	}
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case Input:
+			fmt.Fprintf(bw, "  n%d [label=%q shape=triangle];\n", n.ID, n.Name)
+		case Branch:
+			fmt.Fprintf(bw, "  n%d [label=\"\" shape=point];\n", n.ID)
+		case Const0, Const1:
+			fmt.Fprintf(bw, "  n%d [label=%q shape=plaintext];\n", n.ID, n.Name)
+		default:
+			shape := "box"
+			if outputSet[n.ID] {
+				shape = "doublecircle"
+			}
+			fmt.Fprintf(bw, "  n%d [label=\"%s\\n%s\" shape=%s];\n", n.ID, n.Name, n.Kind, shape)
+		}
+	}
+	for _, n := range c.Nodes {
+		for _, f := range n.Fanin {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", f, n.ID)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,265 @@
+// Package exp orchestrates the paper's experiments over the benchmark
+// suite: it drives synthesis, universe construction, the worst-case and
+// average-case analyses, and shapes the results into the rows of Tables
+// 2, 3, 5 and 6 and the Figure 2 histogram.
+package exp
+
+import (
+	"fmt"
+
+	"ndetect/internal/bench"
+	"ndetect/internal/ndetect"
+	"ndetect/internal/report"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Circuits restricts the run (nil = every benchmark).
+	Circuits []string
+	// NMax is the deepest n-detection level (paper: 10).
+	NMax int
+	// K5 is the number of random test sets for Table 5 (paper: 10000).
+	K5 int
+	// K6 is the number of random test sets for Table 6 (paper: 1000).
+	K6 int
+	// Seed drives all randomized parts deterministically.
+	Seed int64
+	// Ge11Limit caps the size of the nmin ≥ 11 subset fed to the
+	// average-case analysis (0 = no cap). The surrogate circuits can have
+	// substantially larger tails than the paper's; the cap keeps Table 5/6
+	// regeneration affordable while preserving the distribution shape
+	// (faults are kept in nmin order).
+	Ge11Limit int
+}
+
+// normalize fills defaults.
+func (c *Config) normalize() {
+	if c.NMax <= 0 {
+		c.NMax = 10
+	}
+	if c.K5 <= 0 {
+		c.K5 = 1000
+	}
+	if c.K6 <= 0 {
+		c.K6 = 200
+	}
+}
+
+// CircuitRun is the per-circuit artifact of the worst-case pass.
+type CircuitRun struct {
+	Name     string
+	Universe *ndetect.CircuitUniverse
+	WC       *ndetect.WorstCaseResult
+}
+
+// RunCircuit synthesizes one benchmark and runs the worst-case analysis.
+func RunCircuit(name string) (*CircuitRun, error) {
+	b, ok := bench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+	}
+	r, err := b.SynthesizeDefault()
+	if err != nil {
+		return nil, err
+	}
+	u, err := ndetect.FromCircuit(r.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	return &CircuitRun{Name: name, Universe: u, WC: ndetect.WorstCase(&u.Universe)}, nil
+}
+
+// circuitList resolves the configured circuit set.
+func (c *Config) circuitList() []string {
+	if len(c.Circuits) > 0 {
+		return c.Circuits
+	}
+	names := make([]string, 0)
+	for _, b := range bench.All() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// Table2 computes the worst-case coverage rows for the configured circuits.
+// The callback, when non-nil, observes each completed circuit (progress
+// reporting). Universes are released as soon as a circuit is summarized.
+func Table2(cfg Config, observe func(*CircuitRun)) ([]report.Table2Row, error) {
+	cfg.normalize()
+	var rows []report.Table2Row
+	for _, name := range cfg.circuitList() {
+		run, err := RunCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row(run))
+		if observe != nil {
+			observe(run)
+		}
+	}
+	return rows, nil
+}
+
+// Table2Row summarizes one circuit's worst-case run as a Table 2 row.
+func Table2Row(run *CircuitRun) report.Table2Row {
+	row := report.Table2Row{
+		Circuit: run.Name,
+		Faults:  len(run.Universe.Untargeted),
+	}
+	for i, n := range report.NMinColumns {
+		row.Pct[i] = 100 * run.WC.CoverageAt(n)
+	}
+	return row
+}
+
+// Table3Row summarizes one circuit's worst-case run as a Table 3 row.
+func Table3Row(run *CircuitRun) report.Table3Row {
+	return report.Table3Row{
+		Circuit: run.Name,
+		Faults:  len(run.Universe.Untargeted),
+		Ge100:   run.WC.CountAtLeast(100),
+		Ge20:    run.WC.CountAtLeast(20),
+		Ge11:    run.WC.CountAtLeast(11),
+	}
+}
+
+// Table3 computes worst-case tail rows; like the paper, only circuits with
+// nmin(g) ≥ 11 faults are included.
+func Table3(cfg Config, observe func(*CircuitRun)) ([]report.Table3Row, error) {
+	cfg.normalize()
+	var rows []report.Table3Row
+	for _, name := range cfg.circuitList() {
+		run, err := RunCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		if run.WC.CountAtLeast(11) > 0 {
+			rows = append(rows, Table3Row(run))
+		}
+		if observe != nil {
+			observe(run)
+		}
+	}
+	return rows, nil
+}
+
+// Figure2 renders the nmin distribution histogram for one circuit (the
+// paper shows dvram with cutoff 100; the cutoff adapts downward to the
+// largest populated decade if the surrogate's tail is shorter).
+func Figure2(name string, cutoff int) (string, error) {
+	run, err := RunCircuit(name)
+	if err != nil {
+		return "", err
+	}
+	eff := cutoff
+	for eff > 10 && run.WC.CountAtLeast(eff) == 0 {
+		eff /= 2
+	}
+	values, counts := run.WC.Histogram(eff)
+	unbounded := 0
+	for _, v := range run.WC.NMin {
+		if v == ndetect.Unbounded {
+			unbounded++
+		}
+	}
+	return report.FormatFigure2(name, eff, values, counts, unbounded), nil
+}
+
+// ge11Subset returns the indices of the nmin ≥ 11 faults, in nmin order
+// (hardest last), optionally capped.
+func ge11Subset(run *CircuitRun, limit int) []int {
+	idx := run.WC.IndicesAtLeast(11)
+	if limit > 0 && len(idx) > limit {
+		// Keep the distribution shape: sample evenly across the nmin-sorted
+		// list rather than truncating one end.
+		sortByNMin(idx, run.WC.NMin)
+		out := make([]int, 0, limit)
+		step := float64(len(idx)) / float64(limit)
+		for i := 0; i < limit; i++ {
+			out = append(out, idx[int(float64(i)*step)])
+		}
+		return out
+	}
+	return idx
+}
+
+func sortByNMin(idx []int, nmin []int) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && nmin[idx[j]] < nmin[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// Table5 runs the average-case analysis (Definition 1) on every configured
+// circuit that has nmin ≥ 11 faults, producing Table 5 rows.
+func Table5(cfg Config, observe func(string)) ([]report.Table5Row, error) {
+	cfg.normalize()
+	var rows []report.Table5Row
+	for _, name := range cfg.circuitList() {
+		run, err := RunCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		idx := ge11Subset(run, cfg.Ge11Limit)
+		if len(idx) == 0 {
+			continue
+		}
+		sub := run.Universe.SubsetUntargeted(idx)
+		res, err := ndetect.Procedure1(sub, ndetect.Procedure1Options{
+			NMax: cfg.NMax, K: cfg.K5, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, thresholdRow(name, res, cfg.NMax))
+		if observe != nil {
+			observe(name)
+		}
+	}
+	return rows, nil
+}
+
+func thresholdRow(name string, res *ndetect.Procedure1Result, n int) report.Table5Row {
+	row := report.Table5Row{Circuit: name, Faults: len(res.Detected[n-1])}
+	counts := res.ThresholdCounts(n)
+	copy(row.Counts[:], counts)
+	return row
+}
+
+// Table6 runs the Definition 1 vs Definition 2 comparison on every
+// configured circuit with nmin ≥ 11 faults.
+func Table6(cfg Config, observe func(string)) ([]report.Table6Row, error) {
+	cfg.normalize()
+	var rows []report.Table6Row
+	for _, name := range cfg.circuitList() {
+		run, err := RunCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		idx := ge11Subset(run, cfg.Ge11Limit)
+		if len(idx) == 0 {
+			continue
+		}
+		sub := run.Universe.SubsetUntargeted(idx)
+		opts := ndetect.Procedure1Options{NMax: cfg.NMax, K: cfg.K6, Seed: cfg.Seed}
+		r1, err := ndetect.Procedure1(sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts.Definition = ndetect.Def2
+		opts.Checker = ndetect.NewCircuitCheckerFor(run.Universe)
+		r2, err := ndetect.Procedure1(sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := report.Table6Row{Circuit: name, Faults: len(idx)}
+		copy(row.Def1[:], r1.ThresholdCounts(cfg.NMax))
+		copy(row.Def2[:], r2.ThresholdCounts(cfg.NMax))
+		rows = append(rows, row)
+		if observe != nil {
+			observe(name)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"ndetect/internal/ndetect"
+	"ndetect/internal/report"
+)
+
+// AllResults bundles everything one full reproduction pass computes.
+type AllResults struct {
+	Table2  []report.Table2Row
+	Table3  []report.Table3Row
+	Table5  []report.Table5Row
+	Table6  []report.Table6Row
+	Figure2 string
+}
+
+// RunAll regenerates every table (and, when figure2Circuit is non-empty,
+// Figure 2) in a single pass over the benchmark suite: each circuit is
+// synthesized and analysed once, summarized into every applicable row, and
+// released before the next circuit starts. withT5/withT6 gate the expensive
+// average-case passes.
+func RunAll(cfg Config, figure2Circuit string, withT5, withT6 bool, observe func(string)) (*AllResults, error) {
+	cfg.normalize()
+	out := &AllResults{}
+	for _, name := range cfg.circuitList() {
+		run, err := RunCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Table2 = append(out.Table2, Table2Row(run))
+		ge11 := run.WC.CountAtLeast(11)
+		if ge11 > 0 {
+			out.Table3 = append(out.Table3, Table3Row(run))
+		}
+
+		if figure2Circuit == name {
+			cutoff := 100
+			for cutoff > 10 && run.WC.CountAtLeast(cutoff) == 0 {
+				cutoff /= 2
+			}
+			values, counts := run.WC.Histogram(cutoff)
+			unbounded := 0
+			for _, v := range run.WC.NMin {
+				if v == ndetect.Unbounded {
+					unbounded++
+				}
+			}
+			out.Figure2 = report.FormatFigure2(name, cutoff, values, counts, unbounded)
+		}
+
+		if ge11 > 0 && (withT5 || withT6) {
+			idx := ge11Subset(run, cfg.Ge11Limit)
+			sub := run.Universe.SubsetUntargeted(idx)
+			if withT5 {
+				res, err := ndetect.Procedure1(sub, ndetect.Procedure1Options{
+					NMax: cfg.NMax, K: cfg.K5, Seed: cfg.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out.Table5 = append(out.Table5, thresholdRow(name, res, cfg.NMax))
+			}
+			if withT6 {
+				opts := ndetect.Procedure1Options{NMax: cfg.NMax, K: cfg.K6, Seed: cfg.Seed}
+				r1, err := ndetect.Procedure1(sub, opts)
+				if err != nil {
+					return nil, err
+				}
+				opts.Definition = ndetect.Def2
+				opts.Checker = ndetect.NewCircuitCheckerFor(run.Universe)
+				r2, err := ndetect.Procedure1(sub, opts)
+				if err != nil {
+					return nil, err
+				}
+				row := report.Table6Row{Circuit: name, Faults: len(idx)}
+				copy(row.Def1[:], r1.ThresholdCounts(cfg.NMax))
+				copy(row.Def2[:], r2.ThresholdCounts(cfg.NMax))
+				out.Table6 = append(out.Table6, row)
+			}
+		}
+		if observe != nil {
+			observe(name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"ndetect/internal/circuit"
+)
+
+// Dominance collapsing, the optional second stage after equivalence
+// collapsing. Fault a dominates fault b when every test for b also detects
+// a (T(b) ⊆ T(a)); the dominating fault a can then be dropped from a
+// test-generation target list, because any test set detecting b detects a
+// too. Structurally, a gate's output stuck-at its non-controlled value
+// dominates each of its input stuck-at-¬controlling faults:
+//
+//	AND : output s-a-1 dominates each input s-a-1 → drop output s-a-1
+//	NAND: output s-a-0 dominates each input s-a-1 → drop output s-a-0
+//	OR  : output s-a-0 dominates each input s-a-0 → drop output s-a-0
+//	NOR : output s-a-1 dominates each input s-a-0 → drop output s-a-1
+//
+// The paper's target set F uses equivalence collapsing only (the usual
+// meaning of "collapsed"); dominance collapsing is provided for test
+// generation flows (package testgen accepts any target list) and for the
+// ablation comparing analysis outcomes under the two target sets. Note that
+// under dominance collapsing F is no longer a set of representatives of all
+// faults — guarantees computed against it are guarantees about a smaller
+// target list, which weakens nmin bounds accordingly.
+func DominanceCollapseStuckAt(c *circuit.Circuit) []StuckAt {
+	drop := make(map[StuckAt]bool)
+	for _, nd := range c.Nodes {
+		switch nd.Kind {
+		case circuit.And:
+			drop[StuckAt{Node: nd.ID, Value: true}] = true
+		case circuit.Nand:
+			drop[StuckAt{Node: nd.ID, Value: false}] = true
+		case circuit.Or:
+			drop[StuckAt{Node: nd.ID, Value: false}] = true
+		case circuit.Nor:
+			drop[StuckAt{Node: nd.ID, Value: true}] = true
+		}
+	}
+	eq := CollapseStuckAt(c)
+	out := eq[:0:0]
+	for _, f := range eq {
+		if !drop[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+package ndetect
+
+import (
+	"math/rand"
+	"sync"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+	"ndetect/internal/sim"
+)
+
+// def2State tracks, per target fault, a greedily maintained set of tests
+// counted as distinct detections under Definition 2.
+//
+// Maintenance is lazy and capped: the distinct set of a fault is only grown
+// when the fault is examined and found short of the needed count, by
+// processing the test set's vectors in insertion order from a per-fault
+// cursor. A test joins the set if it detects the fault and is pairwise
+// distinct from every test already counted. Because tests are processed in
+// the same (insertion) order regardless of when the cursor advances, the
+// lazy evaluation reaches the same decisions as an eager one, while faults
+// that already satisfy the current n perform no similarity checks at all —
+// the difference between hours and seconds at paper-scale K.
+type def2State struct {
+	checker  DistinctChecker
+	distinct [][]int // per target fault: tests counted as distinct detections
+	cursor   []int   // per target fault: vectors of Tk processed so far
+}
+
+func newDef2State(numTargets int, checker DistinctChecker) *def2State {
+	return &def2State{
+		checker:  checker,
+		distinct: make([][]int, numTargets),
+		cursor:   make([]int, numTargets),
+	}
+}
+
+// countUpTo advances fault i's cursor until its distinct set reaches `need`
+// members or the test set is exhausted, and returns the (possibly capped)
+// count.
+func (s *def2State) countUpTo(i, need int, f *Fault, tk *TestSet) int {
+	d := s.distinct[i]
+	vectors := tk.Vectors()
+	for s.cursor[i] < len(vectors) && len(d) < need {
+		v := vectors[s.cursor[i]]
+		s.cursor[i]++
+		if !f.T.Contains(v) {
+			continue
+		}
+		if s.isDistinct(i, v, d) {
+			d = append(d, v)
+		}
+	}
+	s.distinct[i] = d
+	return len(d)
+}
+
+// batchChecker is the optional fast path: decide v-vs-all-of-ds in one
+// call. CircuitChecker implements it with dual-rail bit-parallel 3-valued
+// simulation (one circuit pass for up to 64 pairs).
+type batchChecker interface {
+	DistinctAll(faultIndex, v int, ds []int) bool
+}
+
+func (s *def2State) isDistinct(i, v int, d []int) bool {
+	if len(d) == 0 {
+		return true
+	}
+	if bc, ok := s.checker.(batchChecker); ok {
+		return bc.DistinctAll(i, v, d)
+	}
+	for _, m := range d {
+		if !s.checker.Distinct(i, v, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// pickScanCap bounds how many randomly drawn candidates pickDistinct
+// examines before concluding the fault has no usable distinct test and
+// letting the Definition 1 fallback take over. Scanning a random
+// permutation and returning the first qualifying test is uniform over the
+// qualifying set; the cap turns the exhaustive scan into statistical
+// sampling, which only matters for faults whose qualifying fraction is
+// below ~1/cap — exactly the faults the paper's fallback is for. Without
+// the cap, saturated faults with thousands of remaining tests would pay
+// |T(f)| × |distinct set| 3-valued simulations per iteration.
+const pickScanCap = 96
+
+// pickChecker is the optional transposed fast path: find the first
+// candidate pairwise distinct from every counted detection, eliminating
+// candidates member-by-member with batched simulations.
+type pickChecker interface {
+	FirstDistinct(faultIndex int, cands []int, ds []int) int
+}
+
+// pickDistinct draws a random member of {t ∈ T(f) − Tk : t is pairwise
+// distinct from every counted detection} (see pickScanCap for the sampling
+// bound).
+func (s *def2State) pickDistinct(i int, f *Fault, tk *TestSet, rng *rand.Rand) (int, bool) {
+	diff := f.T.Difference(tk.Set())
+	cands := diff.Members()
+	rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	if len(cands) > pickScanCap {
+		cands = cands[:pickScanCap]
+	}
+	if pc, ok := s.checker.(pickChecker); ok && len(s.distinct[i]) > 0 {
+		if at := pc.FirstDistinct(i, cands, s.distinct[i]); at >= 0 {
+			return cands[at], true
+		}
+		return 0, false
+	}
+	for _, v := range cands {
+		if s.isDistinct(i, v, s.distinct[i]) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// CircuitChecker implements Definition 2's similarity test with 3-valued
+// simulation on the real circuit: tests t1 and t2 are distinct detections of
+// fault i exactly when the partial vector t12 — specified where t1 and t2
+// agree, X elsewhere — does NOT detect the fault.
+//
+// Results are memoized per (fault, unordered pair); the cache is shared
+// across the K parallel test-set constructions, which revisit the same pairs
+// constantly. The faulty-machine simulation is restricted to the fault's
+// output cone (precomputed per fault).
+type CircuitChecker struct {
+	c      *circuit.Circuit
+	faults []fault.StuckAt
+
+	mu    sync.RWMutex
+	cache []map[uint64]bool // per fault: key = lo<<32 | hi
+	cones []*sim.FaultCone  // per fault, built on first use
+}
+
+// NewCircuitChecker builds the checker for a circuit universe: faults[i]
+// must be the structural fault behind Targets[i].
+func NewCircuitChecker(c *circuit.Circuit, faults []fault.StuckAt) *CircuitChecker {
+	return &CircuitChecker{
+		c:      c,
+		faults: faults,
+		cache:  make([]map[uint64]bool, len(faults)),
+		cones:  make([]*sim.FaultCone, len(faults)),
+	}
+}
+
+// NewCircuitCheckerFor builds the checker for a CircuitUniverse.
+func NewCircuitCheckerFor(u *CircuitUniverse) *CircuitChecker {
+	return NewCircuitChecker(u.Circuit, u.StuckAt)
+}
+
+// Distinct implements DistinctChecker.
+func (cc *CircuitChecker) Distinct(faultIndex, t1, t2 int) bool {
+	if t1 == t2 {
+		return false // a test is never a distinct detection from itself
+	}
+	lo, hi := t1, t2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<32 | uint64(hi)
+
+	cc.mu.RLock()
+	m := cc.cache[faultIndex]
+	if m != nil {
+		if v, ok := m[key]; ok {
+			cc.mu.RUnlock()
+			return v
+		}
+	}
+	cone := cc.cones[faultIndex]
+	cc.mu.RUnlock()
+
+	if cone == nil {
+		cone = sim.NewFaultCone(cc.c, cc.faults[faultIndex].Node)
+	}
+
+	pattern := sim.CommonTest(uint64(lo), uint64(hi), cc.c.NumInputs())
+	// Distinct iff t12 does NOT detect the fault.
+	v := !cone.DetectsTV(pattern, cc.faults[faultIndex].Value)
+
+	cc.mu.Lock()
+	if cc.cache[faultIndex] == nil {
+		cc.cache[faultIndex] = make(map[uint64]bool)
+	}
+	cc.cache[faultIndex][key] = v
+	if cc.cones[faultIndex] == nil {
+		cc.cones[faultIndex] = cone
+	}
+	cc.mu.Unlock()
+	return v
+}
+
+// DistinctAll reports whether v is pairwise distinct from every test in ds
+// for the given fault, resolving all uncached pairs with one dual-rail
+// batched simulation (chunks of 64).
+func (cc *CircuitChecker) DistinctAll(faultIndex, v int, ds []int) bool {
+	keys := make([]uint64, 0, len(ds))
+	pending := make([]int, 0, len(ds))
+
+	cc.mu.RLock()
+	m := cc.cache[faultIndex]
+	cone := cc.cones[faultIndex]
+	for _, d := range ds {
+		if d == v {
+			cc.mu.RUnlock()
+			return false
+		}
+		lo, hi := v, d
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(hi)
+		if m != nil {
+			if val, ok := m[key]; ok {
+				if !val {
+					cc.mu.RUnlock()
+					return false
+				}
+				continue
+			}
+		}
+		keys = append(keys, key)
+		pending = append(pending, d)
+	}
+	cc.mu.RUnlock()
+	if len(pending) == 0 {
+		return true
+	}
+
+	if cone == nil {
+		cone = sim.NewFaultCone(cc.c, cc.faults[faultIndex].Node)
+	}
+	result := true
+	verdicts := make([]bool, 0, len(pending))
+	for start := 0; start < len(pending); start += 64 {
+		end := start + 64
+		if end > len(pending) {
+			end = len(pending)
+		}
+		patterns := make([][]sim.TV, 0, end-start)
+		for _, d := range pending[start:end] {
+			patterns = append(patterns, sim.CommonTest(uint64(v), uint64(d), cc.c.NumInputs()))
+		}
+		for _, detects := range cone.DetectsTVBatch(patterns, cc.faults[faultIndex].Value) {
+			verdicts = append(verdicts, !detects) // distinct iff t_ij does NOT detect
+			if detects {
+				result = false
+			}
+		}
+	}
+
+	cc.mu.Lock()
+	if cc.cache[faultIndex] == nil {
+		cc.cache[faultIndex] = make(map[uint64]bool)
+	}
+	for i, key := range keys {
+		cc.cache[faultIndex][key] = verdicts[i]
+	}
+	if cc.cones[faultIndex] == nil {
+		cc.cones[faultIndex] = cone
+	}
+	cc.mu.Unlock()
+	return result
+}
+
+// FirstDistinct returns the index (into cands) of the first candidate that
+// is pairwise distinct from every test in ds for the given fault, or -1.
+// Candidates are eliminated member by member: for each counted detection d,
+// all surviving candidates are checked against d with cache lookups plus
+// one batched simulation per 64 uncached pairs. The surviving set after the
+// last member is exactly {candidates distinct from all of ds}, so the
+// returned candidate matches what a sequential scan would pick.
+func (cc *CircuitChecker) FirstDistinct(faultIndex int, cands []int, ds []int) int {
+	survivors := make([]int, len(cands)) // indices into cands
+	for i := range survivors {
+		survivors[i] = i
+	}
+	for _, d := range ds {
+		next := survivors[:0]
+		var pendingIdx []int
+		var pendingKeys []uint64
+
+		cc.mu.RLock()
+		m := cc.cache[faultIndex]
+		cone := cc.cones[faultIndex]
+		for _, si := range survivors {
+			v := cands[si]
+			if v == d {
+				continue // never distinct from itself
+			}
+			lo, hi := v, d
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := uint64(lo)<<32 | uint64(hi)
+			if m != nil {
+				if val, ok := m[key]; ok {
+					if val {
+						next = append(next, si)
+					}
+					continue
+				}
+			}
+			pendingIdx = append(pendingIdx, si)
+			pendingKeys = append(pendingKeys, key)
+		}
+		cc.mu.RUnlock()
+
+		if len(pendingIdx) > 0 {
+			if cone == nil {
+				cone = sim.NewFaultCone(cc.c, cc.faults[faultIndex].Node)
+			}
+			verdicts := make([]bool, 0, len(pendingIdx))
+			for start := 0; start < len(pendingIdx); start += 64 {
+				end := start + 64
+				if end > len(pendingIdx) {
+					end = len(pendingIdx)
+				}
+				patterns := make([][]sim.TV, 0, end-start)
+				for _, si := range pendingIdx[start:end] {
+					patterns = append(patterns, sim.CommonTest(uint64(cands[si]), uint64(d), cc.c.NumInputs()))
+				}
+				for _, detects := range cone.DetectsTVBatch(patterns, cc.faults[faultIndex].Value) {
+					verdicts = append(verdicts, !detects)
+				}
+			}
+			cc.mu.Lock()
+			if cc.cache[faultIndex] == nil {
+				cc.cache[faultIndex] = make(map[uint64]bool)
+			}
+			for i, key := range pendingKeys {
+				cc.cache[faultIndex][key] = verdicts[i]
+			}
+			if cc.cones[faultIndex] == nil {
+				cc.cones[faultIndex] = cone
+			}
+			cc.mu.Unlock()
+			for i, si := range pendingIdx {
+				if verdicts[i] {
+					next = append(next, si)
+				}
+			}
+		}
+
+		survivors = next
+		if len(survivors) == 0 {
+			return -1
+		}
+	}
+	// Cache hits and simulated verdicts append in different orders, so the
+	// survivor list is not sorted; the minimum index is the candidate a
+	// sequential scan would have accepted first.
+	best := survivors[0]
+	for _, si := range survivors {
+		if si < best {
+			best = si
+		}
+	}
+	return best
+}
+
+// CacheSize returns the number of memoized pair results (diagnostics).
+func (cc *CircuitChecker) CacheSize() int {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	n := 0
+	for _, m := range cc.cache {
+		n += len(m)
+	}
+	return n
+}

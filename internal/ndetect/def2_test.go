@@ -1,0 +1,258 @@
+package ndetect
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ndetect/internal/bitset"
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+)
+
+type fakeChecker struct {
+	distinct bool
+	mu       sync.Mutex
+	calls    int
+}
+
+func (f *fakeChecker) Distinct(fi, t1, t2 int) bool {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	return f.distinct
+}
+
+// TestDef2NDetectionInvariant: even under Definition 2 (with its Definition 1
+// fallback), every test set is an n-detection test set in the Definition 1
+// sense after iteration n — the paper's "avoid situations where faults are
+// detected much fewer than n times".
+func TestDef2NDetectionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, checker := range []*fakeChecker{{distinct: true}, {distinct: false}} {
+		u := randomUniverse(rng, 128, 10, 4)
+		res, err := Procedure1(u, Procedure1Options{
+			NMax: 5, K: 15, Seed: 3, Definition: Def2, Checker: checker, KeepTestSets: true,
+		})
+		if err != nil {
+			t.Fatalf("Procedure1: %v", err)
+		}
+		for n := 1; n <= 5; n++ {
+			for k, tk := range res.TestSets[n-1] {
+				if !tk.IsNDetection(n, u.Targets) {
+					t.Fatalf("distinct=%v: T%d after iteration %d is not %d-detection",
+						checker.distinct, k, n, n)
+				}
+			}
+		}
+		if checker.calls == 0 {
+			t.Fatal("checker never consulted")
+		}
+	}
+}
+
+// TestDef2NoneDistinct: when no pair is ever distinct, a fault's Definition
+// 2 count saturates at 1 no matter how many of its tests join the set.
+func TestDef2NoneDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	u := randomUniverse(rng, 64, 8, 4)
+	checker := &fakeChecker{distinct: false}
+	d2 := newDef2State(len(u.Targets), checker)
+	tk := NewTestSet(u.Size)
+	for _, v := range u.Targets[0].T.Members() {
+		tk.Add(v)
+	}
+	if got := d2.countUpTo(0, 10, &u.Targets[0], tk); got != 1 {
+		t.Fatalf("count = %d, want 1 under none-distinct", got)
+	}
+}
+
+// TestDef2AllDistinct: when every pair is distinct, Definition 2 counting
+// equals Definition 1 counting (up to the requested cap).
+func TestDef2AllDistinct(t *testing.T) {
+	checker := &fakeChecker{distinct: true}
+	d2 := newDef2State(1, checker)
+	f := Fault{Name: "f", T: bitset.FromMembers(32, 0, 3, 6, 9, 12, 15, 18)}
+	tk := NewTestSet(32)
+	for _, v := range f.T.Members() {
+		tk.Add(v)
+	}
+	if got := d2.countUpTo(0, 7, &f, tk); got != 7 {
+		t.Fatalf("count = %d, want 7 under all-distinct", got)
+	}
+	// The cap is respected: asking for less processes less.
+	d2b := newDef2State(1, checker)
+	if got := d2b.countUpTo(0, 3, &f, tk); got != 3 {
+		t.Fatalf("capped count = %d, want 3", got)
+	}
+	// And resuming later reaches the full count.
+	if got := d2b.countUpTo(0, 10, &f, tk); got != 7 {
+		t.Fatalf("resumed count = %d, want 7", got)
+	}
+}
+
+// buildDef2Circuit returns a small circuit plus its collapsed faults for
+// CircuitChecker tests.
+func buildDef2Circuit(t *testing.T) (*circuit.Circuit, []fault.StuckAt) {
+	t.Helper()
+	b := circuit.NewBuilder("def2")
+	b.Input("a")
+	b.Input("c")
+	b.Input("d")
+	b.Gate(circuit.And, "g1", "a", "c")
+	b.Gate(circuit.Or, "g2", "g1", "d")
+	b.Output("g2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c, fault.CollapseStuckAt(c)
+}
+
+func TestCircuitCheckerBasics(t *testing.T) {
+	c, faults := buildDef2Circuit(t)
+	cc := NewCircuitChecker(c, faults)
+
+	// A test is never distinct from itself.
+	if cc.Distinct(0, 3, 3) {
+		t.Fatal("t distinct from itself")
+	}
+	// Symmetry: the pair key is unordered.
+	for fi := range faults {
+		for a := 0; a < 8; a++ {
+			for b := a + 1; b < 8; b++ {
+				if cc.Distinct(fi, a, b) != cc.Distinct(fi, b, a) {
+					t.Fatalf("asymmetric distinctness for fault %d pair (%d,%d)", fi, a, b)
+				}
+			}
+		}
+	}
+	if cc.CacheSize() == 0 {
+		t.Fatal("cache empty after queries")
+	}
+}
+
+// TestCircuitCheckerSemantics: hand-verified cases on g2 = (a∧c)∨d.
+func TestCircuitCheckerSemantics(t *testing.T) {
+	c, faults := buildDef2Circuit(t)
+	cc := NewCircuitChecker(c, faults)
+
+	// Find fault d/1 (input d stuck at 1). T(d/1) = vectors with d=0 and
+	// a∧c=0: {000,010,100} = {0,2,4}.
+	di := -1
+	for i, f := range faults {
+		if f.Name(c) == "d/1" {
+			di = i
+		}
+	}
+	if di < 0 {
+		t.Skip("d/1 collapsed away; representative differs")
+	}
+	// t1=000(0), t2=010(2): common = 0X0. Under 0X0 the fault d/1 makes
+	// g2: good = (0∧X)∨0 = 0, faulty = (0∧X)∨1 = 1 → t12 DETECTS the
+	// fault → tests are NOT distinct.
+	if cc.Distinct(di, 0, 2) {
+		t.Fatal("(000,010) should be similar for d/1: common 0X0 still detects it")
+	}
+	// t1=000(0), t2=100(4): common = X00; good g2 = (X∧0)∨0 = 0, faulty =
+	// (X∧0)∨1 = 1 → detected → not distinct either.
+	if cc.Distinct(di, 0, 4) {
+		t.Fatal("(000,100) should be similar for d/1")
+	}
+	// Now fault a/1: T(a/1) = vectors with a=0, c=1, d=0 → {010}=2 only.
+	// For a fault with a singleton T-set the checker is never consulted
+	// with two members; instead verify a/0-style pair: fault c/1?
+	// Take fault g1/1 if present: T(g1/1) = {v: g1=0 ∧ d=0} with flip →
+	// g2 flips. g1=0 ∧ d=0: {000,010,100}. Common of 000 and 100 is X00:
+	// good g1 = X∧0 = 0 → wait c=0 → g1=0 definitely; faulty g1=1 →
+	// g2: good 0, faulty 1 → detects → not distinct.
+	gi := -1
+	for i, f := range faults {
+		if f.Name(c) == "a/0" { // a/0 ≡ c/0 ≡ g1/0 under collapsing
+			gi = i
+		}
+	}
+	if gi >= 0 {
+		// T(a/0) = {v: a=1,c=1,d=0} = {110} singleton; nothing to check.
+		_ = gi
+	}
+}
+
+// TestCircuitCheckerConcurrent: hammer the cache from several goroutines.
+func TestCircuitCheckerConcurrent(t *testing.T) {
+	c, faults := buildDef2Circuit(t)
+	cc := NewCircuitChecker(c, faults)
+	var wg sync.WaitGroup
+	results := make([][]bool, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []bool
+			for fi := range faults {
+				for a := 0; a < 8; a++ {
+					for b := 0; b < 8; b++ {
+						out = append(out, cc.Distinct(fi, a, b))
+					}
+				}
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("goroutine %d saw different result at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestDef2ImprovesDiversityOnCircuit: an end-to-end sanity check of the
+// paper's Section 4 claim on a circuit with reconvergent structure: under
+// Definition 2 the mean detection probability of hard untargeted faults is
+// at least that of Definition 1. (Statistical, with fixed seeds.)
+func TestDef2ImprovesDiversityOnCircuit(t *testing.T) {
+	b := circuit.NewBuilder("div")
+	for _, n := range []string{"a", "c", "d", "e", "f"} {
+		b.Input(n)
+	}
+	b.Gate(circuit.And, "g1", "a", "c")
+	b.Gate(circuit.And, "g2", "d", "e")
+	b.Gate(circuit.And, "g3", "c", "d")
+	b.Gate(circuit.Or, "g4", "g1", "g2")
+	b.Gate(circuit.Or, "g5", "g4", "g3")
+	b.Gate(circuit.And, "g6", "g5", "f")
+	b.Output("g6")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	u, err := FromCircuit(c)
+	if err != nil {
+		t.Fatalf("FromCircuit: %v", err)
+	}
+	if len(u.Untargeted) == 0 {
+		t.Skip("no bridging faults in this circuit")
+	}
+	opts := Procedure1Options{NMax: 3, K: 200, Seed: 42}
+	r1, err := Procedure1(&u.Universe, opts)
+	if err != nil {
+		t.Fatalf("Def1: %v", err)
+	}
+	opts.Definition = Def2
+	opts.Checker = NewCircuitCheckerFor(u)
+	r2, err := Procedure1(&u.Universe, opts)
+	if err != nil {
+		t.Fatalf("Def2: %v", err)
+	}
+	var sum1, sum2 float64
+	for j := range u.Untargeted {
+		sum1 += r1.P(3, j)
+		sum2 += r2.P(3, j)
+	}
+	if sum2+1e-9 < sum1*0.95 {
+		t.Fatalf("Def2 mean detection (%v) markedly below Def1 (%v)", sum2, sum1)
+	}
+}

@@ -1,0 +1,257 @@
+package ndetect
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndetect/internal/bitset"
+)
+
+// TestProcedure1NDetectionInvariant: after iteration n, every test set
+// detects every target fault min(n, N(f)) times (the defining property of
+// Procedure 1 under Definition 1).
+func TestProcedure1NDetectionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		u := randomUniverse(rng, 64+rng.Intn(128), 12, 4)
+		res, err := Procedure1(u, Procedure1Options{NMax: 6, K: 25, Seed: int64(trial), KeepTestSets: true})
+		if err != nil {
+			t.Fatalf("Procedure1: %v", err)
+		}
+		for n := 1; n <= 6; n++ {
+			for k, tk := range res.TestSets[n-1] {
+				if !tk.IsNDetection(n, u.Targets) {
+					t.Fatalf("trial %d: T%d after iteration %d is not an %d-detection test set", trial, k, n, n)
+				}
+			}
+		}
+	}
+}
+
+// TestProcedure1Deterministic: same seed → identical results regardless of
+// worker count.
+func TestProcedure1Deterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := randomUniverse(rng, 128, 15, 6)
+	run := func(workers int) *Procedure1Result {
+		res, err := Procedure1(u, Procedure1Options{NMax: 5, K: 40, Seed: 77, Workers: workers, KeepTestSets: true})
+		if err != nil {
+			t.Fatalf("Procedure1: %v", err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for n := 0; n < 5; n++ {
+		for j := range a.Detected[n] {
+			if a.Detected[n][j] != b.Detected[n][j] {
+				t.Fatalf("Detected[%d][%d]: %d vs %d", n, j, a.Detected[n][j], b.Detected[n][j])
+			}
+		}
+		if a.SetSizeSum[n] != b.SetSizeSum[n] {
+			t.Fatalf("SetSizeSum[%d]: %d vs %d", n, a.SetSizeSum[n], b.SetSizeSum[n])
+		}
+		for k := range a.TestSets[n] {
+			va, vb := a.TestSets[n][k].Vectors(), b.TestSets[n][k].Vectors()
+			if len(va) != len(vb) {
+				t.Fatalf("test set %d at n=%d: %d vs %d tests", k, n+1, len(va), len(vb))
+			}
+			for i := range va {
+				if va[i] != vb[i] {
+					t.Fatalf("test set %d differs at position %d", k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestProcedure1Monotone: d(n,g) is non-decreasing in n — test sets only
+// grow across iterations.
+func TestProcedure1Monotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := randomUniverse(rng, 256, 20, 10)
+	res, err := Procedure1(u, Procedure1Options{NMax: 8, K: 50, Seed: 5})
+	if err != nil {
+		t.Fatalf("Procedure1: %v", err)
+	}
+	for n := 1; n < 8; n++ {
+		for j := range res.Detected[n] {
+			if res.Detected[n][j] < res.Detected[n-1][j] {
+				t.Fatalf("d(%d,g%d)=%d < d(%d,g%d)=%d", n+1, j, res.Detected[n][j], n, j, res.Detected[n-1][j])
+			}
+		}
+		if res.SetSizeSum[n] < res.SetSizeSum[n-1] {
+			t.Fatal("test set sizes shrank")
+		}
+	}
+}
+
+// TestProcedure1GrowthRoughlyLinear: the paper's observation motivating the
+// analysis — "the size of a compact n-detection test set increases
+// approximately linearly with n". Random sets are not compact but still must
+// grow superlinearly-bounded; we assert growth is at least monotone and that
+// the increment from n=1 to nmax is substantial.
+func TestProcedure1SetSizesGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	u := randomUniverse(rng, 512, 30, 5)
+	res, err := Procedure1(u, Procedure1Options{NMax: 10, K: 20, Seed: 9})
+	if err != nil {
+		t.Fatalf("Procedure1: %v", err)
+	}
+	if res.MeanSetSize(10) <= res.MeanSetSize(1) {
+		t.Fatalf("mean size at n=10 (%v) not larger than at n=1 (%v)",
+			res.MeanSetSize(10), res.MeanSetSize(1))
+	}
+}
+
+// TestProcedure1ExhaustsSmallFaults: a fault with N(f) < n ends up with its
+// entire T(f) in the test set.
+func TestProcedure1ExhaustsSmallFaults(t *testing.T) {
+	size := 32
+	u := &Universe{
+		Size: size,
+		Targets: []Fault{
+			{Name: "tiny", T: bitset.FromMembers(size, 3, 17)},
+			{Name: "big", T: bitset.FromMembers(size, 0, 1, 2, 4, 5, 6, 7, 8, 9, 10)},
+		},
+		Untargeted: []Fault{{Name: "g", T: bitset.FromMembers(size, 17)}},
+	}
+	res, err := Procedure1(u, Procedure1Options{NMax: 5, K: 10, Seed: 1, KeepTestSets: true})
+	if err != nil {
+		t.Fatalf("Procedure1: %v", err)
+	}
+	for _, tk := range res.TestSets[4] {
+		if !tk.Contains(3) || !tk.Contains(17) {
+			t.Fatal("T(tiny) not fully included at n=5 > N(tiny)=2")
+		}
+	}
+	// g with T(g)={17} ⊂ T(tiny) must be detected by every 2-detection set
+	// (nmin(g) = 2-1+1 = 2).
+	if res.Detected[1][0] != res.K {
+		t.Fatalf("d(2,g) = %d, want K=%d", res.Detected[1][0], res.K)
+	}
+}
+
+// TestProcedure1UndetectableTargetIgnored: targets with empty T-sets are
+// skipped gracefully.
+func TestProcedure1UndetectableTargetIgnored(t *testing.T) {
+	size := 16
+	u := &Universe{
+		Size: size,
+		Targets: []Fault{
+			{Name: "undet", T: bitset.New(size)},
+			{Name: "ok", T: bitset.FromMembers(size, 1, 2)},
+		},
+		Untargeted: []Fault{{Name: "g", T: bitset.FromMembers(size, 2)}},
+	}
+	res, err := Procedure1(u, Procedure1Options{NMax: 3, K: 5, Seed: 2, KeepTestSets: true})
+	if err != nil {
+		t.Fatalf("Procedure1: %v", err)
+	}
+	for _, tk := range res.TestSets[2] {
+		if tk.Len() != 2 {
+			t.Fatalf("test set has %d vectors, want 2 (T(ok) exhausted)", tk.Len())
+		}
+	}
+}
+
+func TestProcedure1OptionValidation(t *testing.T) {
+	u := &Universe{Size: 4, Targets: []Fault{{Name: "f", T: bitset.FromMembers(4, 0)}}}
+	if _, err := Procedure1(u, Procedure1Options{Definition: Def2}); err == nil {
+		t.Fatal("Def2 without checker accepted")
+	}
+	if _, err := Procedure1(u, Procedure1Options{Definition: 3}); err == nil {
+		t.Fatal("unknown definition accepted")
+	}
+	// Universe mismatch.
+	bad := &Universe{Size: 4, Targets: []Fault{{Name: "f", T: bitset.FromMembers(8, 0)}}}
+	if _, err := Procedure1(bad, Procedure1Options{}); err == nil {
+		t.Fatal("invalid universe accepted")
+	}
+}
+
+func TestPickRandomOutsideUniform(t *testing.T) {
+	size := 64
+	tset := bitset.FromMembers(size, 1, 5, 9, 13)
+	tk := NewTestSet(size)
+	tk.Add(5)
+	rng := rand.New(rand.NewSource(0))
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		v, ok := pickRandomOutside(tset, tk, rng)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		if v == 5 {
+			t.Fatal("picked a vector already in Tk")
+		}
+		counts[v]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("support = %v, want {1,9,13}", counts)
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("count[%d] = %d, not near uniform 1000", v, c)
+		}
+	}
+	// Exhausted difference.
+	tk.Add(1)
+	tk.Add(9)
+	tk.Add(13)
+	if _, ok := pickRandomOutside(tset, tk, rng); ok {
+		t.Fatal("pick succeeded on empty difference")
+	}
+}
+
+func TestThresholdCountsAndSummaries(t *testing.T) {
+	// Construct a result by hand: K=10, two faults with d = 10 and 4.
+	r := &Procedure1Result{NMax: 1, K: 10, Detected: [][]int{{10, 4}}, SetSizeSum: []int64{50}}
+	counts := r.ThresholdCounts(1)
+	// p values: 1.0 and 0.4.
+	// thresholds:    1.0 0.9 0.8 0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.0
+	want := []int{1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("ThresholdCounts = %v, want %v", counts, want)
+		}
+	}
+	p, j := r.MinP(1)
+	if j != 1 || p != 0.4 {
+		t.Fatalf("MinP = %v,%d", p, j)
+	}
+	if got := r.EscapeProbability(1, 1); got != 0.6 {
+		t.Fatalf("EscapeProbability = %v", got)
+	}
+	if got := r.ExpectedEscapes(1); got != 0.6 {
+		t.Fatalf("ExpectedEscapes = %v", got)
+	}
+	if got := r.MeanSetSize(1); got != 5 {
+		t.Fatalf("MeanSetSize = %v", got)
+	}
+}
+
+func TestSubsetUntargeted(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	u := randomUniverse(rng, 64, 5, 10)
+	s := u.SubsetUntargeted([]int{2, 7})
+	if len(s.Untargeted) != 2 {
+		t.Fatalf("subset size = %d", len(s.Untargeted))
+	}
+	if !s.Untargeted[0].T.Equal(u.Untargeted[2].T) || !s.Untargeted[1].T.Equal(u.Untargeted[7].T) {
+		t.Fatal("subset picked wrong faults")
+	}
+	if s.Size != u.Size || len(s.Targets) != len(u.Targets) {
+		t.Fatal("subset changed universe shape")
+	}
+}
+
+func TestMixSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for k := int64(0); k < 1000; k++ {
+		v := mix(42, k)
+		if seen[v] {
+			t.Fatalf("mix collision at k=%d", k)
+		}
+		seen[v] = true
+	}
+}

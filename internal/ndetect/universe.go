@@ -1,0 +1,121 @@
+// Package ndetect implements the paper's two analyses of n-detection test
+// sets:
+//
+//   - the worst-case analysis (Section 2): nmin(g), the smallest n such that
+//     EVERY n-detection test set for the target faults F is guaranteed to
+//     detect the untargeted fault g, and
+//   - the average-case analysis (Section 3): p(n,g), the probability that an
+//     arbitrary n-detection test set detects g, estimated by constructing K
+//     random n-detection test sets with the paper's Procedure 1, under
+//     either Definition 1 (plain counting) or Definition 2 (similarity-
+//     filtered counting, Section 4).
+//
+// Both analyses are functions of the exhaustive detection sets T(f) ⊆ U
+// alone, so the package's model is an abstract Universe of named faults with
+// bitset T-sets; FromCircuit binds a gate-level circuit to that model using
+// the fault and sim packages.
+package ndetect
+
+import (
+	"fmt"
+
+	"ndetect/internal/bitset"
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+	"ndetect/internal/sim"
+)
+
+// Fault is a named fault with its exhaustive detection set.
+type Fault struct {
+	Name string
+	T    *bitset.Set
+}
+
+// N returns N(f) = |T(f)|.
+func (f Fault) N() int { return f.T.Count() }
+
+// Universe is an instance of the paper's analysis: a vector space, a target
+// set F and an untargeted set G.
+type Universe struct {
+	Size       int // |U| = 2^inputs
+	Targets    []Fault
+	Untargeted []Fault
+}
+
+// Validate checks internal consistency.
+func (u *Universe) Validate() error {
+	for i, f := range u.Targets {
+		if f.T == nil || f.T.Size() != u.Size {
+			return fmt.Errorf("ndetect: target %d (%s) has T-set over wrong universe", i, f.Name)
+		}
+	}
+	for i, g := range u.Untargeted {
+		if g.T == nil || g.T.Size() != u.Size {
+			return fmt.Errorf("ndetect: untargeted %d (%s) has T-set over wrong universe", i, g.Name)
+		}
+	}
+	return nil
+}
+
+// CircuitUniverse is a Universe bound to the circuit it came from, keeping
+// the structural fault descriptors needed by Definition 2 and by reports.
+type CircuitUniverse struct {
+	Universe
+	Circuit *circuit.Circuit
+	// StuckAt[i] is the structural fault behind Targets[i].
+	StuckAt []fault.StuckAt
+	// Bridges[i] is the structural fault behind Untargeted[i].
+	Bridges []fault.Bridge
+	// Exhaustive is the true-value simulation the T-sets were derived from.
+	Exhaustive *sim.Exhaustive
+}
+
+// FromCircuit builds the paper's experimental setup for a circuit:
+//
+//	F = collapsed single stuck-at faults (undetectable ones retained; they
+//	    never influence either analysis, exactly as in the paper), and
+//	G = detectable non-feedback four-way bridging faults between outputs of
+//	    multi-input gates.
+func FromCircuit(c *circuit.Circuit) (*CircuitUniverse, error) {
+	e, err := sim.Run(c)
+	if err != nil {
+		return nil, err
+	}
+
+	sas := fault.CollapseStuckAt(c)
+	saT := e.StuckAtTSets(sas)
+
+	brs := fault.Bridges(c)
+	brT := e.BridgeTSets(brs)
+	brs, brT = sim.FilterDetectableBridges(brs, brT)
+
+	u := &CircuitUniverse{
+		Universe: Universe{
+			Size:       c.VectorSpaceSize(),
+			Targets:    make([]Fault, len(sas)),
+			Untargeted: make([]Fault, len(brs)),
+		},
+		Circuit:    c,
+		StuckAt:    sas,
+		Bridges:    brs,
+		Exhaustive: e,
+	}
+	for i, f := range sas {
+		u.Targets[i] = Fault{Name: f.Name(c), T: saT[i]}
+	}
+	for i, g := range brs {
+		u.Untargeted[i] = Fault{Name: g.Name(c), T: brT[i]}
+	}
+	return u, nil
+}
+
+// DetectableTargets returns the number of targets with non-empty T-sets.
+func (u *Universe) DetectableTargets() int {
+	n := 0
+	for _, f := range u.Targets {
+		if !f.T.IsEmpty() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+// Package sim computes everything the analysis needs from a circuit by
+// exhaustive simulation of its input space U:
+//
+//   - bit-parallel true-value simulation of all |U| = 2^m vectors,
+//   - flip-propagation masks (per line, the vectors at which flipping the
+//     line is visible at a primary output),
+//   - the exhaustive detection sets T(f) for stuck-at faults and T(g) for
+//     four-way bridging faults, and
+//   - 3-valued (0/1/X) simulation with fault injection, used by the paper's
+//     Definition 2 of distinct detections.
+//
+// The paper's analysis "is based on the set U of all the input vectors of
+// the circuit" and "can be done only for circuits with small numbers of
+// inputs"; Run enforces the same restriction.
+package sim
+
+import (
+	"fmt"
+
+	"ndetect/internal/bitset"
+	"ndetect/internal/circuit"
+)
+
+// MaxInputs bounds the exhaustive analysis. 2^24 vectors × a few thousand
+// lines is the practical ceiling for a laptop-scale run; the benchmarks in
+// the paper all have at most 13 circuit inputs.
+const MaxInputs = 24
+
+// Exhaustive holds the true value of every node at every input vector:
+// Values[id] is a bitset over U whose bit v is the value of node id under
+// vector v.
+type Exhaustive struct {
+	Circuit *Circuit
+	Values  []*bitset.Set
+}
+
+// Circuit aliases circuit.Circuit so callers reading this package's
+// signatures see the dependency explicitly.
+type Circuit = circuit.Circuit
+
+// Run simulates all 2^m input vectors with 64-way bit parallelism.
+func Run(c *Circuit) (*Exhaustive, error) {
+	m := c.NumInputs()
+	if m > MaxInputs {
+		return nil, fmt.Errorf("sim: circuit %q has %d inputs; exhaustive analysis is limited to %d (partition the circuit)", c.Name, m, MaxInputs)
+	}
+	size := 1 << uint(m)
+	e := &Exhaustive{
+		Circuit: c,
+		Values:  make([]*bitset.Set, c.NumNodes()),
+	}
+	for i := range e.Values {
+		e.Values[i] = bitset.New(size)
+	}
+
+	// Input i (MSB-first: shift = m-1-i) has value (v >> shift) & 1 at
+	// vector v. Within a 64-bit word covering vectors [64w, 64w+63], inputs
+	// with shift ≥ 6 are constant; inputs with shift < 6 follow a fixed
+	// alternating pattern.
+	for i, id := range c.Inputs {
+		shift := uint(m - 1 - i)
+		dst := e.Values[id]
+		words := dst.Words()
+		if shift >= 6 {
+			for w := range words {
+				base := uint64(w) * 64
+				if (base>>shift)&1 == 1 {
+					dst.SetWord(w, ^uint64(0))
+				}
+			}
+		} else {
+			pat := alternating(shift)
+			for w := range words {
+				dst.SetWord(w, pat)
+			}
+		}
+	}
+
+	e.propagate(c.TopoOrder(), e.Values)
+	return e, nil
+}
+
+// alternating returns the 64-bit pattern of bit position `shift` of the
+// vector index: e.g. shift 0 → 0xAAAA...: bit v = (v >> 0) & 1.
+func alternating(shift uint) uint64 {
+	var pat uint64
+	for v := uint(0); v < 64; v++ {
+		if (v>>shift)&1 == 1 {
+			pat |= 1 << v
+		}
+	}
+	return pat
+}
+
+// propagate evaluates the given nodes (a topological sub-order) into vals.
+// Input and overridden nodes must already be set; they are skipped by
+// callers passing orders that exclude them.
+func (e *Exhaustive) propagate(order []int, vals []*bitset.Set) {
+	c := e.Circuit
+	for _, id := range order {
+		n := c.Node(id)
+		evalNodeParallel(c, n, vals)
+	}
+}
+
+// evalNodeParallel computes one node's value words from its fanins' words.
+// Inputs are left untouched.
+func evalNodeParallel(c *Circuit, n *circuit.Node, vals []*bitset.Set) {
+	out := vals[n.ID]
+	words := out.Words()
+	switch n.Kind {
+	case circuit.Input:
+		// set by Run
+	case circuit.Const0:
+		out.Clear()
+	case circuit.Const1:
+		out.Fill()
+	case circuit.Buf, circuit.Branch:
+		src := vals[n.Fanin[0]].Words()
+		for w := range words {
+			out.SetWord(w, src[w])
+		}
+	case circuit.Not:
+		src := vals[n.Fanin[0]].Words()
+		for w := range words {
+			out.SetWord(w, ^src[w])
+		}
+	case circuit.And, circuit.Nand:
+		for w := range words {
+			acc := ^uint64(0)
+			for _, f := range n.Fanin {
+				acc &= vals[f].Words()[w]
+			}
+			if n.Kind == circuit.Nand {
+				acc = ^acc
+			}
+			out.SetWord(w, acc)
+		}
+	case circuit.Or, circuit.Nor:
+		for w := range words {
+			acc := uint64(0)
+			for _, f := range n.Fanin {
+				acc |= vals[f].Words()[w]
+			}
+			if n.Kind == circuit.Nor {
+				acc = ^acc
+			}
+			out.SetWord(w, acc)
+		}
+	case circuit.Xor, circuit.Xnor:
+		for w := range words {
+			acc := uint64(0)
+			for _, f := range n.Fanin {
+				acc ^= vals[f].Words()[w]
+			}
+			if n.Kind == circuit.Xnor {
+				acc = ^acc
+			}
+			out.SetWord(w, acc)
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown kind %v", n.Kind))
+	}
+}
+
+// Value returns the good value of node id at vector v.
+func (e *Exhaustive) Value(id int, v int) bool {
+	return e.Values[id].Contains(v)
+}
+
+// OutputVectors returns, per primary output, the bitset of vectors at which
+// that output is 1.
+func (e *Exhaustive) OutputVectors() []*bitset.Set {
+	out := make([]*bitset.Set, len(e.Circuit.Outputs))
+	for i, o := range e.Circuit.Outputs {
+		out[i] = e.Values[o].Clone()
+	}
+	return out
+}

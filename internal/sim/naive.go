@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"ndetect/internal/bitset"
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+)
+
+// The naive simulator recomputes every fault at every vector with scalar
+// full-circuit evaluations. It exists as (a) the reference implementation
+// the bit-parallel path is cross-checked against in tests, and (b) the
+// baseline of the ablation benchmark BenchmarkTSetsPerFault.
+
+// evalWithForcedNode evaluates the circuit at vector v with node `forced`
+// overridden to `val` (a downstream observer sees the override; the node's
+// own fanin does not feed it).
+func evalWithForcedNode(c *circuit.Circuit, v uint64, forced int, val bool, vals []bool) {
+	for i, id := range c.Inputs {
+		vals[id] = circuit.VectorBit(v, i, len(c.Inputs))
+	}
+	for _, id := range c.TopoOrder() {
+		if id == forced {
+			vals[id] = val
+			continue
+		}
+		evalNodeScalar(c, c.Node(id), vals)
+	}
+}
+
+func evalNodeScalar(c *circuit.Circuit, n *circuit.Node, vals []bool) {
+	switch n.Kind {
+	case circuit.Input:
+		// already set
+	case circuit.Const0:
+		vals[n.ID] = false
+	case circuit.Const1:
+		vals[n.ID] = true
+	case circuit.Buf, circuit.Branch:
+		vals[n.ID] = vals[n.Fanin[0]]
+	case circuit.Not:
+		vals[n.ID] = !vals[n.Fanin[0]]
+	case circuit.And, circuit.Nand:
+		v := true
+		for _, f := range n.Fanin {
+			v = v && vals[f]
+		}
+		if n.Kind == circuit.Nand {
+			v = !v
+		}
+		vals[n.ID] = v
+	case circuit.Or, circuit.Nor:
+		v := false
+		for _, f := range n.Fanin {
+			v = v || vals[f]
+		}
+		if n.Kind == circuit.Nor {
+			v = !v
+		}
+		vals[n.ID] = v
+	case circuit.Xor, circuit.Xnor:
+		v := false
+		for _, f := range n.Fanin {
+			v = v != vals[f]
+		}
+		if n.Kind == circuit.Xnor {
+			v = !v
+		}
+		vals[n.ID] = v
+	}
+}
+
+// NaiveStuckAtTSet computes T(f) by scalar simulation of every vector.
+func NaiveStuckAtTSet(c *circuit.Circuit, f fault.StuckAt) *bitset.Set {
+	size := c.VectorSpaceSize()
+	t := bitset.New(size)
+	good := make([]bool, c.NumNodes())
+	bad := make([]bool, c.NumNodes())
+	for v := 0; v < size; v++ {
+		c.EvalInto(uint64(v), good)
+		if good[f.Node] == f.Value {
+			continue // not activated
+		}
+		evalWithForcedNode(c, uint64(v), f.Node, f.Value, bad)
+		for _, o := range c.Outputs {
+			if good[o] != bad[o] {
+				t.Add(v)
+				break
+			}
+		}
+	}
+	return t
+}
+
+// NaiveBridgeTSet computes T(g) for a dominance bridge by scalar simulation.
+func NaiveBridgeTSet(c *circuit.Circuit, g fault.Bridge) *bitset.Set {
+	size := c.VectorSpaceSize()
+	t := bitset.New(size)
+	good := make([]bool, c.NumNodes())
+	bad := make([]bool, c.NumNodes())
+	for v := 0; v < size; v++ {
+		c.EvalInto(uint64(v), good)
+		if good[g.Dominant] != g.Value || good[g.Victim] == g.Value {
+			continue // not activated
+		}
+		evalWithForcedNode(c, uint64(v), g.Victim, g.Value, bad)
+		for _, o := range c.Outputs {
+			if good[o] != bad[o] {
+				t.Add(v)
+				break
+			}
+		}
+	}
+	return t
+}
+
+// NaiveExhaustive computes all node values with scalar evaluation; the
+// ablation baseline for BenchmarkExhaustiveNaive.
+func NaiveExhaustive(c *circuit.Circuit) []*bitset.Set {
+	size := c.VectorSpaceSize()
+	out := make([]*bitset.Set, c.NumNodes())
+	for i := range out {
+		out[i] = bitset.New(size)
+	}
+	vals := make([]bool, c.NumNodes())
+	for v := 0; v < size; v++ {
+		c.EvalInto(uint64(v), vals)
+		for id, b := range vals {
+			if b {
+				out[id].Add(v)
+			}
+		}
+	}
+	return out
+}

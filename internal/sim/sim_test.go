@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+)
+
+// testCircuit builds the 4-input example used across the sim tests:
+// f = (i1∧i2) ∨ (i2∧i3∧i4), plus a second output h = ¬(i3∧i4).
+func testCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("simtest")
+	b.Input("i1")
+	b.Input("i2")
+	b.Input("i3")
+	b.Input("i4")
+	b.Gate(circuit.And, "g9", "i1", "i2")
+	b.Gate(circuit.And, "g10", "i2", "i3", "i4")
+	b.Gate(circuit.Or, "g11", "g9", "g10")
+	b.Gate(circuit.Nand, "g12", "i3", "i4")
+	b.Output("g11")
+	b.Output("g12")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+// randomCircuit builds a random normalized DAG circuit for cross-checks.
+func randomCircuit(t *testing.T, rng *rand.Rand, inputs, gates int) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("rand")
+	names := make([]string, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		n := "x" + itoa(i)
+		b.Input(n)
+		names = append(names, n)
+	}
+	kinds := []circuit.Kind{circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf}
+	for g := 0; g < gates; g++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		n := "g" + itoa(g)
+		if kind == circuit.Not || kind == circuit.Buf {
+			b.Gate(kind, n, names[rng.Intn(len(names))])
+		} else {
+			nf := 2 + rng.Intn(3)
+			perm := rng.Perm(len(names))
+			fins := make([]string, 0, nf)
+			for _, p := range perm[:min(nf, len(perm))] {
+				fins = append(fins, names[p])
+			}
+			b.Gate(kind, n, fins...)
+		}
+		names = append(names, n)
+	}
+	// Outputs: the last few gates.
+	nOut := 1 + rng.Intn(3)
+	for i := 0; i < nOut; i++ {
+		b.Output("g" + itoa(gates-1-i))
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("random Build: %v", err)
+	}
+	return c
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf []byte
+	for i > 0 {
+		buf = append([]byte{byte('0' + i%10)}, buf...)
+		i /= 10
+	}
+	return string(buf)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunMatchesScalarEval(t *testing.T) {
+	c := testCircuit(t)
+	e, err := Run(c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for v := 0; v < c.VectorSpaceSize(); v++ {
+		want := c.Eval(uint64(v))
+		for id := range c.Nodes {
+			if got := e.Value(id, v); got != want[id] {
+				t.Fatalf("node %s at v=%d: parallel %v, scalar %v", c.Node(id).Name, v, got, want[id])
+			}
+		}
+	}
+}
+
+func TestRunMatchesScalarEvalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(t, rng, 3+rng.Intn(6), 5+rng.Intn(25))
+		e, err := Run(c)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for v := 0; v < c.VectorSpaceSize(); v++ {
+			want := c.Eval(uint64(v))
+			for id := range c.Nodes {
+				if got := e.Value(id, v); got != want[id] {
+					t.Fatalf("trial %d node %d v=%d: parallel %v scalar %v", trial, id, v, got, want[id])
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsWideCircuits(t *testing.T) {
+	b := circuit.NewBuilder("wide")
+	names := make([]string, 26)
+	for i := range names {
+		names[i] = "x" + itoa(i)
+		b.Input(names[i])
+	}
+	b.Gate(circuit.And, "g", names...)
+	b.Output("g")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Run(c); err == nil {
+		t.Fatal("Run accepted a 26-input circuit")
+	}
+}
+
+func TestAlternatingPatterns(t *testing.T) {
+	for shift := uint(0); shift < 6; shift++ {
+		pat := alternating(shift)
+		for v := uint(0); v < 64; v++ {
+			want := (v>>shift)&1 == 1
+			if got := pat&(1<<v) != 0; got != want {
+				t.Fatalf("alternating(%d) bit %d = %v, want %v", shift, v, got, want)
+			}
+		}
+	}
+}
+
+func TestStuckAtTSetsMatchNaive(t *testing.T) {
+	c := testCircuit(t)
+	e, err := Run(c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	faults := fault.AllStuckAt(c)
+	tsets := e.StuckAtTSets(faults)
+	for i, f := range faults {
+		want := NaiveStuckAtTSet(c, f)
+		if !tsets[i].Equal(want) {
+			t.Fatalf("fault %s: parallel %s, naive %s", f.Name(c), tsets[i], want)
+		}
+	}
+}
+
+func TestStuckAtTSetsMatchNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(t, rng, 4+rng.Intn(4), 8+rng.Intn(15))
+		e, err := Run(c)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		faults := fault.AllStuckAt(c)
+		tsets := e.StuckAtTSets(faults)
+		for i, f := range faults {
+			want := NaiveStuckAtTSet(c, f)
+			if !tsets[i].Equal(want) {
+				t.Fatalf("trial %d fault %s: parallel %s, naive %s", trial, f.Name(c), tsets[i], want)
+			}
+		}
+	}
+}
+
+func TestBridgeTSetsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(t, rng, 4+rng.Intn(4), 8+rng.Intn(15))
+		e, err := Run(c)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		bridges := fault.Bridges(c)
+		tsets := e.BridgeTSets(bridges)
+		for i, g := range bridges {
+			want := NaiveBridgeTSet(c, g)
+			if !tsets[i].Equal(want) {
+				t.Fatalf("trial %d bridge %s: parallel %s, naive %s", trial, g.Name(c), tsets[i], want)
+			}
+		}
+	}
+}
+
+func TestKnownTSets(t *testing.T) {
+	// In testCircuit: g12 = NAND(i3,i4). Fault i3/0 (on the branch feeding
+	// g12... the stem i3 fans out). Check a stem fault instead: output g11
+	// stuck-at-0 is detected wherever g11=1.
+	c := testCircuit(t)
+	e, err := Run(c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g11, _ := c.NodeByName("g11")
+	// g11 may fan out only to the output (no branches), so its prop mask is
+	// the full space and T(g11/0) = ON-set of f.
+	fs := []fault.StuckAt{{Node: g11.ID, Value: false}, {Node: g11.ID, Value: true}}
+	ts := e.StuckAtTSets(fs)
+	for v := 0; v < 16; v++ {
+		i1 := circuit.VectorBit(uint64(v), 0, 4)
+		i2 := circuit.VectorBit(uint64(v), 1, 4)
+		i3 := circuit.VectorBit(uint64(v), 2, 4)
+		i4 := circuit.VectorBit(uint64(v), 3, 4)
+		on := (i1 && i2) || (i2 && i3 && i4)
+		if ts[0].Contains(v) != on {
+			t.Fatalf("T(g11/0) wrong at %d", v)
+		}
+		if ts[1].Contains(v) != !on {
+			t.Fatalf("T(g11/1) wrong at %d", v)
+		}
+	}
+}
+
+func TestPropMaskOfUnobservableNode(t *testing.T) {
+	// A node that doesn't reach any output has an empty prop mask.
+	b := circuit.NewBuilder("dangling")
+	b.Input("a")
+	b.Input("c")
+	b.Gate(circuit.And, "used", "a", "c")
+	b.Gate(circuit.Or, "unused", "a", "c")
+	b.Output("used")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	e, err := Run(c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	un, _ := c.NodeByName("unused")
+	if !e.PropMask(un.ID).IsEmpty() {
+		t.Fatal("unobservable node has non-empty prop mask")
+	}
+}
+
+func TestNaiveExhaustiveMatchesRun(t *testing.T) {
+	c := testCircuit(t)
+	e, _ := Run(c)
+	naive := NaiveExhaustive(c)
+	for id := range c.Nodes {
+		if !e.Values[id].Equal(naive[id]) {
+			t.Fatalf("node %d differs", id)
+		}
+	}
+}
+
+func TestOutputVectors(t *testing.T) {
+	c := testCircuit(t)
+	e, _ := Run(c)
+	outs := e.OutputVectors()
+	if len(outs) != 2 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	for v := 0; v < 16; v++ {
+		want := c.OutputsOf(c.Eval(uint64(v)))
+		if outs[0].Contains(v) != want[0] || outs[1].Contains(v) != want[1] {
+			t.Fatalf("OutputVectors wrong at %d", v)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"ndetect/internal/bitset"
+	"ndetect/internal/fault"
+)
+
+// StuckAtTSets computes the exhaustive detection set T(f) ⊆ U of every given
+// stuck-at fault: the vectors at which the line carries the opposite of the
+// stuck value (activation) and the flip is observable at an output
+// (propagation).
+func (e *Exhaustive) StuckAtTSets(faults []fault.StuckAt) []*bitset.Set {
+	ids := make([]int, len(faults))
+	for i, f := range faults {
+		ids[i] = f.Node
+	}
+	props := e.PropMasks(ids)
+
+	out := make([]*bitset.Set, len(faults))
+	for i, f := range faults {
+		t := props[f.Node].Clone()
+		tw := t.Words()
+		gw := e.Values[f.Node].Words()
+		for w := range tw {
+			if f.Value {
+				// stuck-at-1: activated where the good value is 0.
+				t.SetWord(w, tw[w]&^gw[w])
+			} else {
+				t.SetWord(w, tw[w]&gw[w])
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// BridgeTSets computes the exhaustive detection set of every given bridging
+// fault: T = {v : dominant carries Value, victim carries ¬Value, and
+// flipping the victim propagates}.
+func (e *Exhaustive) BridgeTSets(bridges []fault.Bridge) []*bitset.Set {
+	ids := make([]int, len(bridges))
+	for i, g := range bridges {
+		ids[i] = g.Victim
+	}
+	props := e.PropMasks(ids)
+
+	out := make([]*bitset.Set, len(bridges))
+	for i, g := range bridges {
+		t := props[g.Victim].Clone()
+		tw := t.Words()
+		dw := e.Values[g.Dominant].Words()
+		vw := e.Values[g.Victim].Words()
+		for w := range tw {
+			var act uint64
+			if g.Value {
+				act = dw[w] &^ vw[w] // dom=1, victim=0
+			} else {
+				act = ^dw[w] & vw[w] // dom=0, victim=1
+			}
+			t.SetWord(w, tw[w]&act)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// FilterDetectable drops faults with empty T-sets, returning parallel
+// filtered slices. It is used to realize the paper's "detectable ...
+// four-way bridging faults" universe and, when desired, a detectable target
+// set.
+func FilterDetectableBridges(bridges []fault.Bridge, tsets []*bitset.Set) ([]fault.Bridge, []*bitset.Set) {
+	var fb []fault.Bridge
+	var ft []*bitset.Set
+	for i, t := range tsets {
+		if !t.IsEmpty() {
+			fb = append(fb, bridges[i])
+			ft = append(ft, t)
+		}
+	}
+	return fb, ft
+}
+
+// FilterDetectableStuckAt drops stuck-at faults with empty T-sets.
+func FilterDetectableStuckAt(faults []fault.StuckAt, tsets []*bitset.Set) ([]fault.StuckAt, []*bitset.Set) {
+	var ff []fault.StuckAt
+	var ft []*bitset.Set
+	for i, t := range tsets {
+		if !t.IsEmpty() {
+			ff = append(ff, faults[i])
+			ft = append(ft, t)
+		}
+	}
+	return ff, ft
+}

@@ -1,0 +1,313 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"ndetect/internal/circuit"
+)
+
+// Multi-level synthesis. Two-level PLA mapping (mapToNetlist) produces a
+// structure in which nearly every bridging fault has nmin(g) = 1: whenever
+// the dominant and victim terms feed a common OR gate, the victim's branch
+// fault into that OR has a test set contained in the bridge's, so any
+// 1-detection test set is guaranteed to catch the bridge. Real benchmark
+// netlists are multi-level; this pass reproduces that character with two
+// classical transformations:
+//
+//  1. common-cube extraction (fast_extract style, restricted to two-signal
+//     divisors): the most frequent signal pair across all product terms is
+//     pulled out as a shared AND2 node and substituted everywhere, iterated
+//     to a fixpoint, and
+//  2. fanin-capped tree decomposition of the remaining wide AND terms and
+//     OR sums.
+//
+// The result is a DAG with shared subfunctions, reconvergent fanout and
+// long masked propagation paths — the structure on which the paper's nmin
+// distribution develops its head (nmin = 1 for most faults) and its tail
+// (nmin ≫ 10 for a few).
+
+// signal encodes a literal or an extracted node: values 0..2w-1 are input
+// literals (2v = input v positive, 2v+1 = negated); values ≥ 2w index
+// extracted AND2 nodes.
+type signal = int
+
+// extNode is an extracted AND2 divisor over two signals.
+type extNode struct {
+	a, b signal
+}
+
+// mlCube is a product term as a sorted set of signals.
+type mlCube []signal
+
+// mlNetwork is the intermediate multi-level representation.
+type mlNetwork struct {
+	width int       // number of input variables
+	ext   []extNode // extraction nodes, ID = 2*width + index
+	funcs [][]mlCube
+	tauto []bool // function is constant 1
+}
+
+// buildML converts reduced covers into the multi-level representation and
+// runs pair extraction.
+func buildML(width int, covers []Cover) *mlNetwork {
+	net := &mlNetwork{
+		width: width,
+		funcs: make([][]mlCube, len(covers)),
+		tauto: make([]bool, len(covers)),
+	}
+	for f, cv := range covers {
+		for _, cube := range cv {
+			sig := cubeSignals(cube, width)
+			if len(sig) == 0 {
+				net.tauto[f] = true
+				net.funcs[f] = nil
+				break
+			}
+			net.funcs[f] = append(net.funcs[f], sig)
+		}
+	}
+	net.extractPairs()
+	return net
+}
+
+func cubeSignals(c Cube, width int) mlCube {
+	var out mlCube
+	for v := 0; v < width; v++ {
+		if c.Care&(1<<uint(v)) == 0 {
+			continue
+		}
+		if c.Val&(1<<uint(v)) != 0 {
+			out = append(out, 2*v)
+		} else {
+			out = append(out, 2*v+1)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// extractPairs repeatedly extracts the globally most frequent signal pair
+// into a shared AND2 node until no pair occurs in at least two terms.
+// Ties break deterministically on the pair values.
+func (n *mlNetwork) extractPairs() {
+	for {
+		counts := make(map[[2]signal]int)
+		for f := range n.funcs {
+			for _, cube := range n.funcs[f] {
+				for i := 0; i < len(cube); i++ {
+					for j := i + 1; j < len(cube); j++ {
+						counts[[2]signal{cube[i], cube[j]}]++
+					}
+				}
+			}
+		}
+		var best [2]signal
+		bestCount := 1
+		for p, c := range counts {
+			if c > bestCount || (c == bestCount && c > 1 && pairLess(p, best)) {
+				best = p
+				bestCount = c
+			}
+		}
+		if bestCount < 2 {
+			return
+		}
+		id := 2*n.width + len(n.ext)
+		n.ext = append(n.ext, extNode{a: best[0], b: best[1]})
+		for f := range n.funcs {
+			for ci, cube := range n.funcs[f] {
+				if containsBoth(cube, best[0], best[1]) {
+					n.funcs[f][ci] = substitute(cube, best[0], best[1], id)
+				}
+			}
+			n.funcs[f] = dedupCubes(n.funcs[f])
+		}
+	}
+}
+
+func pairLess(a, b [2]signal) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func containsBoth(cube mlCube, a, b signal) bool {
+	var hasA, hasB bool
+	for _, s := range cube {
+		if s == a {
+			hasA = true
+		}
+		if s == b {
+			hasB = true
+		}
+	}
+	return hasA && hasB
+}
+
+func substitute(cube mlCube, a, b signal, id signal) mlCube {
+	out := make(mlCube, 0, len(cube)-1)
+	for _, s := range cube {
+		if s != a && s != b {
+			out = append(out, s)
+		}
+	}
+	out = append(out, id)
+	sort.Ints(out)
+	return out
+}
+
+func dedupCubes(cubes []mlCube) []mlCube {
+	seen := make(map[string]bool, len(cubes))
+	out := cubes[:0]
+	for _, c := range cubes {
+		k := fmt.Sprint([]signal(c))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mapMultiLevel emits the netlist for the extracted network.
+func mapMultiLevel(name string, numPIs, stateBits, numPOs, maxFanin int, covers []Cover) (*circuit.Circuit, error) {
+	width := numPIs + stateBits
+	if maxFanin < 2 {
+		maxFanin = 4
+	}
+	net := buildML(width, covers)
+
+	b := circuit.NewBuilder(name)
+	inputName := make([]string, width)
+	for i := 0; i < numPIs; i++ {
+		inputName[i] = fmt.Sprintf("x%d", i)
+	}
+	for i := 0; i < stateBits; i++ {
+		inputName[numPIs+i] = fmt.Sprintf("s%d", i)
+	}
+	for _, nm := range inputName {
+		b.Input(nm)
+	}
+
+	// Cube variable v corresponds to input index width-1-v.
+	haveInv := make(map[int]bool)
+	sigName := make(map[signal]string)
+	var nameOf func(s signal) string
+	nameOf = func(s signal) string {
+		if nm, ok := sigName[s]; ok {
+			return nm
+		}
+		var nm string
+		if s < 2*width {
+			v := s / 2
+			idx := width - 1 - v
+			if s%2 == 0 {
+				nm = inputName[idx]
+			} else {
+				nm = inputName[idx] + "_n"
+				if !haveInv[idx] {
+					b.Gate(circuit.Not, nm, inputName[idx])
+					haveInv[idx] = true
+				}
+			}
+		} else {
+			e := net.ext[s-2*width]
+			nm = fmt.Sprintf("e%d", s-2*width)
+			b.Gate(circuit.And, nm, nameOf(e.a), nameOf(e.b))
+		}
+		sigName[s] = nm
+		return nm
+	}
+
+	// treeGate builds a fanin-capped tree of the given kind over the input
+	// signal names, returning the root signal name. Single input: returned
+	// directly (no gate).
+	gateSeq := 0
+	var treeGate func(kind circuit.Kind, prefix string, ins []string) string
+	treeGate = func(kind circuit.Kind, prefix string, ins []string) string {
+		ins = dedupStrings(ins)
+		if len(ins) == 1 {
+			return ins[0]
+		}
+		if len(ins) <= maxFanin {
+			nm := fmt.Sprintf("%s_%d", prefix, gateSeq)
+			gateSeq++
+			b.Gate(kind, nm, ins...)
+			return nm
+		}
+		var level []string
+		for i := 0; i < len(ins); i += maxFanin {
+			end := i + maxFanin
+			if end > len(ins) {
+				end = len(ins)
+			}
+			level = append(level, treeGate(kind, prefix, ins[i:end]))
+		}
+		return treeGate(kind, prefix, level)
+	}
+
+	// Shared terms: identical signal sets map to one AND tree.
+	termName := make(map[string]string)
+	termFor := func(cube mlCube) string {
+		k := fmt.Sprint([]signal(cube))
+		if nm, ok := termName[k]; ok {
+			return nm
+		}
+		ins := make([]string, len(cube))
+		for i, s := range cube {
+			ins[i] = nameOf(s)
+		}
+		nm := treeGate(circuit.And, "t", ins)
+		termName[k] = nm
+		return nm
+	}
+
+	funcName := func(f int) string {
+		if f < numPOs {
+			return fmt.Sprintf("y%d", f)
+		}
+		return fmt.Sprintf("ns%d", f-numPOs)
+	}
+
+	haveConst0, haveConst1 := false, false
+	for f := range net.funcs {
+		fn := funcName(f)
+		switch {
+		case net.tauto[f]:
+			if !haveConst1 {
+				b.Const("__one__", true)
+				haveConst1 = true
+			}
+			b.Gate(circuit.Buf, fn, "__one__")
+		case len(net.funcs[f]) == 0:
+			if !haveConst0 {
+				b.Const("__zero__", false)
+				haveConst0 = true
+			}
+			b.Gate(circuit.Buf, fn, "__zero__")
+		default:
+			terms := make([]string, len(net.funcs[f]))
+			for i, cube := range net.funcs[f] {
+				terms[i] = termFor(cube)
+			}
+			root := treeGate(circuit.Or, "o", terms)
+			b.Gate(circuit.Buf, fn, root)
+		}
+		b.Output(fn)
+	}
+	return b.Build()
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

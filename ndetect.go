@@ -1,0 +1,240 @@
+// Package ndetect reproduces "Worst-Case and Average-Case Analysis of
+// n-Detection Test Sets" (Pomeranz & Reddy, DATE 2005): given a
+// combinational circuit, it computes
+//
+//   - the worst-case guarantee nmin(g) for every untargeted fault g — the
+//     smallest n such that EVERY n-detection test set for the single
+//     stuck-at faults is guaranteed to detect g — and
+//   - the average-case probability p(n,g) that an arbitrary n-detection
+//     test set detects g, estimated over K random test sets built with the
+//     paper's Procedure 1, under Definition 1 (plain detection counting) or
+//     the stricter Definition 2 (similarity-filtered counting).
+//
+// The target faults F are the circuit's collapsed single stuck-at faults;
+// the untargeted faults G are the detectable non-feedback four-way bridging
+// faults between outputs of multi-input gates, exactly as in the paper.
+//
+// # Quick start
+//
+//	c, _ := ndetect.ParseNetlist(netlistText)
+//	u, _ := ndetect.Analyze(c)
+//	wc := ndetect.WorstCase(&u.Universe)
+//	fmt.Println(wc.CoverageAt(10)) // fraction of G guaranteed by any 10-detection set
+//
+//	res, _ := ndetect.Procedure1(&u.Universe, ndetect.Procedure1Options{NMax: 10, K: 1000})
+//	fmt.Println(res.P(10, 0)) // detection probability of fault 0
+//
+// Benchmark circuits (surrogates for the paper's MCNC suite) are available
+// via Benchmarks and LoadBenchmark; see DESIGN.md for what is surrogate and
+// why. The cmd/paper tool regenerates every table and figure of the paper.
+package ndetect
+
+import (
+	"io"
+
+	"ndetect/internal/bench"
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+	"ndetect/internal/kiss"
+	core "ndetect/internal/ndetect"
+	"ndetect/internal/partition"
+	"ndetect/internal/synth"
+	"ndetect/internal/testgen"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Circuit is a gate-level combinational netlist.
+	Circuit = circuit.Circuit
+	// Builder incrementally constructs a Circuit.
+	Builder = circuit.Builder
+	// Kind is a gate kind (And, Or, Not, ...).
+	Kind = circuit.Kind
+	// STG is a symbolic finite-state machine parsed from KISS2.
+	STG = kiss.STG
+	// SynthOptions controls FSM-to-netlist synthesis.
+	SynthOptions = synth.Options
+	// SynthResult is a synthesized circuit plus its interface mapping.
+	SynthResult = synth.Result
+	// StuckAt is a single stuck-at fault.
+	StuckAt = fault.StuckAt
+	// Bridge is a four-way dominance bridging fault.
+	Bridge = fault.Bridge
+	// Fault is a named fault with its exhaustive detection set T(f).
+	Fault = core.Fault
+	// Universe is a target set F and untargeted set G over a vector space.
+	Universe = core.Universe
+	// CircuitUniverse binds a Universe to the circuit it came from.
+	CircuitUniverse = core.CircuitUniverse
+	// WorstCaseResult holds nmin(g) for every untargeted fault.
+	WorstCaseResult = core.WorstCaseResult
+	// PairContribution is one row of the paper's Table 1.
+	PairContribution = core.PairContribution
+	// TestSet is an ordered duplicate-free set of input vectors.
+	TestSet = core.TestSet
+	// Procedure1Options configures the random test set generator.
+	Procedure1Options = core.Procedure1Options
+	// Procedure1Result holds detection statistics over the K runs.
+	Procedure1Result = core.Procedure1Result
+	// Definition selects Definition 1 or Definition 2 counting.
+	Definition = core.Definition
+	// DistinctChecker is Definition 2's similarity oracle.
+	DistinctChecker = core.DistinctChecker
+	// Benchmark is one circuit of the embedded benchmark suite.
+	Benchmark = bench.Benchmark
+)
+
+// Gate kinds, re-exported for Builder users.
+const (
+	And  = circuit.And
+	Nand = circuit.Nand
+	Or   = circuit.Or
+	Nor  = circuit.Nor
+	Xor  = circuit.Xor
+	Xnor = circuit.Xnor
+	Not  = circuit.Not
+	Buf  = circuit.Buf
+)
+
+// Definitions of "detected n times" (paper Section 4).
+const (
+	Def1 = core.Def1
+	Def2 = core.Def2
+)
+
+// Unbounded is the nmin value of faults no n-detection test set is ever
+// guaranteed to detect.
+const Unbounded = core.Unbounded
+
+// NewBuilder starts a new circuit description.
+func NewBuilder(name string) *Builder { return circuit.NewBuilder(name) }
+
+// ParseNetlist reads a circuit in the text netlist format (see
+// internal/circuit's format documentation: circuit/input/output/gate/const
+// statements).
+func ParseNetlist(src string) (*Circuit, error) { return circuit.ParseString(src) }
+
+// ReadNetlist reads a circuit from a reader.
+func ReadNetlist(r io.Reader) (*Circuit, error) { return circuit.Parse(r) }
+
+// ParseKISS2 reads a KISS2 finite-state machine.
+func ParseKISS2(name, src string) (*STG, error) { return kiss.ParseString(name, src) }
+
+// ReadKISS2 reads a KISS2 machine from a reader.
+func ReadKISS2(name string, r io.Reader) (*STG, error) { return kiss.Parse(name, r) }
+
+// Synthesize builds the combinational next-state/output logic of a machine.
+func Synthesize(m *STG, opts SynthOptions) (*SynthResult, error) {
+	return synth.Synthesize(m, opts)
+}
+
+// Analyze builds the paper's experimental setup for a circuit: F = collapsed
+// stuck-at faults, G = detectable non-feedback four-way bridging faults
+// between outputs of multi-input gates, with all T-sets computed by
+// exhaustive bit-parallel simulation.
+func Analyze(c *Circuit) (*CircuitUniverse, error) { return core.FromCircuit(c) }
+
+// WorstCase runs the paper's Section 2 analysis: nmin(g) for every
+// untargeted fault.
+func WorstCase(u *Universe) *WorstCaseResult { return core.WorstCase(u) }
+
+// NMin computes nmin(g) for a single fault against a target set.
+func NMin(g Fault, targets []Fault) int { return core.NMin(g, targets) }
+
+// NMinPair computes nmin(g,f) = N(f) − M(g,f) + 1.
+func NMinPair(g, f Fault) int { return core.NMinPair(g, f) }
+
+// ContributingFaults lists F(g) with per-fault nmin(g,f) — the paper's
+// Table 1 for one untargeted fault.
+func ContributingFaults(g Fault, targets []Fault) []PairContribution {
+	return core.ContributingFaults(g, targets)
+}
+
+// Procedure1 constructs K random n-detection test sets for n = 1..NMax and
+// records which untargeted faults each detects (the paper's Section 3).
+func Procedure1(u *Universe, opts Procedure1Options) (*Procedure1Result, error) {
+	return core.Procedure1(u, opts)
+}
+
+// NewDef2Checker builds Definition 2's similarity oracle for a circuit
+// universe, backed by memoized 3-valued fault simulation.
+func NewDef2Checker(u *CircuitUniverse) DistinctChecker {
+	return core.NewCircuitCheckerFor(u)
+}
+
+// NewTestSet returns an empty test set over a universe of the given size.
+func NewTestSet(size int) *TestSet { return core.NewTestSet(size) }
+
+// Benchmarks returns the embedded benchmark suite (surrogates for the
+// paper's MCNC circuits; see DESIGN.md §4).
+func Benchmarks() []*Benchmark { return bench.All() }
+
+// BenchmarkByName looks up one benchmark.
+func BenchmarkByName(name string) (*Benchmark, bool) { return bench.ByName(name) }
+
+// DefaultSynthOptions returns the synthesis options the experiment suite
+// uses (multi-level netlists, fanin cap 4).
+func DefaultSynthOptions() SynthOptions { return bench.DefaultOptions() }
+
+// LoadBenchmark synthesizes a benchmark with the default options and builds
+// its fault universe — the one-call path from a circuit name to both
+// analyses.
+func LoadBenchmark(name string) (*CircuitUniverse, error) {
+	b, ok := bench.ByName(name)
+	if !ok {
+		return nil, &UnknownBenchmarkError{Name: name}
+	}
+	r, err := b.SynthesizeDefault()
+	if err != nil {
+		return nil, err
+	}
+	return core.FromCircuit(r.Circuit)
+}
+
+// GenerateCompact builds a compact n-detection test set deterministically:
+// greedy deficit-driven selection followed by reverse-order compaction.
+// Procedure1 studies arbitrary n-detection test sets; GenerateCompact
+// produces the small ones a test generator would actually emit.
+func GenerateCompact(u *Universe, n int) *TestSet {
+	return testgen.GreedyCompact(u, n)
+}
+
+// TestSetLowerBound returns a lower bound on the size of any n-detection
+// test set for the universe.
+func TestSetLowerBound(u *Universe, n int) int {
+	return testgen.LowerBound(u, n)
+}
+
+// UntargetedCoverage counts how many of the given untargeted faults the
+// test set detects.
+func UntargetedCoverage(ts *TestSet, untargeted []Fault) int {
+	return testgen.Coverage(ts, untargeted)
+}
+
+// Part is one subcircuit produced by SplitCircuit.
+type Part = partition.Part
+
+// PartitionOptions controls SplitCircuit.
+type PartitionOptions = partition.Options
+
+// SplitCircuit partitions a circuit into output-cone subcircuits whose
+// input counts stay within the limit, the paper's Section 4 workaround for
+// designs too large for exhaustive analysis. Each part can be passed to
+// Analyze independently; MergePartNMin combines per-part worst-case results.
+func SplitCircuit(c *Circuit, opts PartitionOptions) ([]*Part, error) {
+	return partition.Split(c, opts)
+}
+
+// MergePartNMin merges per-part nmin maps (keyed by fault name): the
+// smallest value per fault wins.
+func MergePartNMin(perPart []map[string]int) map[string]int {
+	return partition.MergeNMin(perPart)
+}
+
+// UnknownBenchmarkError reports a LoadBenchmark miss.
+type UnknownBenchmarkError struct{ Name string }
+
+func (e *UnknownBenchmarkError) Error() string {
+	return "ndetect: unknown benchmark " + e.Name
+}

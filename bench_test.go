@@ -82,6 +82,42 @@ func BenchmarkTable6(b *testing.B) {
 	}
 }
 
+// runAllBenchConfig is the circuit spread the RunAll ablation pair below
+// shares: enough circuits that the circuit-level fan-out has work to
+// balance, worst-case analysis only (Tables 2+3) so the bench isolates the
+// engine rather than Procedure 1's own worker pool.
+func runAllBenchConfig() exp.Config {
+	return exp.Config{Circuits: []string{"lion", "train4", "bbara", "beecount", "log", "fetch"}}
+}
+
+// BenchmarkRunAllSerial pins the single-worker reproduction pass — the
+// pre-parallel-engine baseline (Workers=1 is bit-for-bit the old serial
+// path).
+func BenchmarkRunAllSerial(b *testing.B) {
+	cfg := runAllBenchConfig()
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAll(cfg, "", false, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllParallel runs the same pass with one worker per CPU. The
+// worker budget is split across levels (see exp.mapCircuits): with ≤ 6
+// cores this measures the circuit-level fan-out (inner pools get 1 worker);
+// beyond that the fault-level and word-shard pools engage too. The ratio to
+// BenchmarkRunAllSerial is the engine's multi-core speedup; the outputs are
+// identical (see exp.TestRunAllWorkersDeterministic).
+func BenchmarkRunAllParallel(b *testing.B) {
+	cfg := runAllBenchConfig() // Workers 0 = GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAll(cfg, "", false, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWorstCaseExample runs the worst-case analysis on the paper's
 // published Table 1 detection sets.
 func BenchmarkWorstCaseExample(b *testing.B) {

@@ -1,0 +1,136 @@
+// Command benchjson converts the text output of `go test -bench` into JSON,
+// so CI can archive benchmark results as a machine-readable trajectory
+// (one JSON document per run; see .github/workflows/ci.yml).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson > bench.json
+//	benchjson -tag pr123 < bench.txt
+//
+// Non-benchmark lines (test output, PASS/ok) pass through to stderr with
+// -echo, and are dropped otherwise. Context lines (goos/goarch/pkg/cpu) are
+// captured into the document header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix, e.g. "RunAllParallel" or
+	// "Encodings/one-hot".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the line (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "value unit" pair (B/op, allocs/op,
+	// custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Tag        string            `json:"tag,omitempty"`
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	tag := flag.String("tag", "", "optional run label recorded in the document")
+	echo := flag.Bool("echo", false, "echo non-benchmark lines to stderr")
+	flag.Parse()
+
+	doc := Document{Tag: *tag, Context: map[string]string{}, Benchmarks: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+			continue
+		}
+		if k, v, ok := parseContextLine(line); ok {
+			doc.Context[k] = v
+			continue
+		}
+		if *echo {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseContextLine captures the "key: value" preamble go test prints before
+// benchmark lines (goos, goarch, pkg, cpu).
+func parseContextLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if strings.HasPrefix(line, k+":") {
+			return k, strings.TrimSpace(strings.TrimPrefix(line, k+":")), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  V ns/op [V unit]..." line.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+
+	r := Result{Name: name, Procs: procs, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			seenNs = true
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	if !seenNs {
+		return Result{}, false
+	}
+	return r, true
+}

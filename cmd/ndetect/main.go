@@ -47,6 +47,7 @@ func main() {
 		worstF   = flag.Int("worst", 10, "show the hardest N untargeted faults")
 		partF    = flag.Int("partition", 0, "partition into ≤N-input cones before analysis (0 = off)")
 		twoLevel = flag.Bool("two-level", false, "use two-level PLA synthesis for -kiss2/-bench")
+		workersF = flag.Int("workers", 0, "worker pool size for simulation, T-sets and -avg (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -67,11 +68,11 @@ func main() {
 	}
 
 	if *partF > 0 {
-		analyzePartitioned(c, *partF)
+		analyzePartitioned(c, *partF, *workersF)
 		return
 	}
 
-	u, err := ndetect.FromCircuit(c)
+	u, err := ndetect.FromCircuitWorkers(c, *workersF)
 	if err != nil {
 		fail(err)
 	}
@@ -107,7 +108,7 @@ func main() {
 	}
 
 	if *avgF {
-		runAverage(u, wc, *kF, *nmaxF, *seedF, *def2F)
+		runAverage(u, wc, *kF, *nmaxF, *seedF, *def2F, *workersF)
 	}
 }
 
@@ -190,14 +191,14 @@ func printWorst(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, n int) 
 	fmt.Println()
 }
 
-func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax int, seed int64, def2 bool) {
+func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax int, seed int64, def2 bool, workers int) {
 	idx := wc.IndicesAtLeast(nmax + 1)
 	if len(idx) == 0 {
 		fmt.Printf("average-case analysis: every untargeted fault is guaranteed at n ≤ %d; nothing to estimate\n", nmax)
 		return
 	}
 	sub := u.SubsetUntargeted(idx)
-	opts := ndetect.Procedure1Options{NMax: nmax, K: k, Seed: seed}
+	opts := ndetect.Procedure1Options{NMax: nmax, K: k, Seed: seed, Workers: workers}
 	label := "Definition 1"
 	if def2 {
 		opts.Definition = ndetect.Def2
@@ -221,7 +222,7 @@ func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax
 	fmt.Printf("  mean %d-detection test set size: %.1f vectors\n", nmax, res.MeanSetSize(nmax))
 }
 
-func analyzePartitioned(c *circuit.Circuit, maxIn int) {
+func analyzePartitioned(c *circuit.Circuit, maxIn, workers int) {
 	parts, err := partition.Split(c, partition.Options{MaxInputs: maxIn})
 	if err != nil {
 		fail(err)
@@ -229,7 +230,7 @@ func analyzePartitioned(c *circuit.Circuit, maxIn int) {
 	fmt.Printf("circuit %s partitioned into %d parts (input limit %d):\n", c.Name, len(parts), maxIn)
 	var perPart []map[string]int
 	for i, p := range parts {
-		u, err := ndetect.FromCircuit(p.Circuit)
+		u, err := ndetect.FromCircuitWorkers(p.Circuit, workers)
 		if err != nil {
 			fail(err)
 		}

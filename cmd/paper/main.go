@@ -17,6 +17,10 @@
 //	-seed    RNG seed (default 1)
 //	-ge11cap cap on the nmin≥11 subset per circuit for Tables 5/6
 //	         (0 = no cap; default 500)
+//	-workers parallelism at every level: circuits fan out across this many
+//	         goroutines and the same count drives the per-circuit simulation
+//	         and Procedure 1 (0 = one per CPU; 1 = serial). Tables are
+//	         identical for every value.
 //	-compare also print the paper's published rows for side-by-side reading
 //	-csv     emit CSV instead of formatted tables
 //	-v       progress to stderr
@@ -47,6 +51,7 @@ func main() {
 		nmaxF    = flag.Int("nmax", 10, "deepest n-detection level")
 		seedF    = flag.Int64("seed", 1, "RNG seed")
 		capF     = flag.Int("ge11cap", 500, "cap on nmin≥11 subset per circuit for Tables 5/6 (0 = none)")
+		workersF = flag.Int("workers", 0, "worker pool size at every level (0 = one per CPU, 1 = serial)")
 		compareF = flag.Bool("compare", false, "also print the paper's published rows")
 		csvF     = flag.Bool("csv", false, "emit CSV")
 		verboseF = flag.Bool("v", false, "progress to stderr")
@@ -71,6 +76,7 @@ func main() {
 		K6:        *k6F,
 		Seed:      *seedF,
 		Ge11Limit: *capF,
+		Workers:   *workersF,
 	}
 	if *circF != "" {
 		for _, c := range strings.Split(*circF, ",") {

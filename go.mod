@@ -1,0 +1,3 @@
+module ndetect
+
+go 1.22

@@ -11,8 +11,8 @@
 //     matching the published primary-input / primary-output / state counts
 //     of every MCNC circuit used in Tables 2-6.
 //
-// DESIGN.md §4 documents this substitution; EXPERIMENTS.md compares the
-// published numbers with the surrogate measurements circuit by circuit.
+// DESIGN.md §4 documents this substitution and how to read surrogate
+// numbers against the published rows (cmd/paper -compare prints both).
 package bench
 
 import (

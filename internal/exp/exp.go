@@ -6,10 +6,13 @@ package exp
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ndetect/internal/bench"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/report"
+	"ndetect/internal/sim"
 )
 
 // Config controls an experiment run.
@@ -30,6 +33,13 @@ type Config struct {
 	// regeneration affordable while preserving the distribution shape
 	// (faults are kept in nmin order).
 	Ge11Limit int
+	// Workers bounds the parallelism of the run at every level: circuits
+	// fan out across a bounded pool, and the same count is threaded into
+	// the per-circuit exhaustive simulation / T-set construction and into
+	// Procedure 1. 0 = one worker per CPU; 1 reproduces the original
+	// serial pass. Tables are identical for every value — rows are always
+	// emitted in circuitList() order.
+	Workers int
 }
 
 // normalize fills defaults.
@@ -54,6 +64,12 @@ type CircuitRun struct {
 
 // RunCircuit synthesizes one benchmark and runs the worst-case analysis.
 func RunCircuit(name string) (*CircuitRun, error) {
+	return RunCircuitWorkers(name, 0)
+}
+
+// RunCircuitWorkers is RunCircuit with an explicit worker count for the
+// exhaustive simulation and T-set construction (0 = one per CPU).
+func RunCircuitWorkers(name string, workers int) (*CircuitRun, error) {
 	b, ok := bench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown benchmark %q", name)
@@ -62,7 +78,7 @@ func RunCircuit(name string) (*CircuitRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	u, err := ndetect.FromCircuit(r.Circuit)
+	u, err := ndetect.FromCircuitWorkers(r.Circuit, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -81,23 +97,96 @@ func (c *Config) circuitList() []string {
 	return names
 }
 
-// Table2 computes the worst-case coverage rows for the configured circuits.
-// The callback, when non-nil, observes each completed circuit (progress
-// reporting). Universes are released as soon as a circuit is summarized.
-func Table2(cfg Config, observe func(*CircuitRun)) ([]report.Table2Row, error) {
-	cfg.normalize()
-	var rows []report.Table2Row
-	for _, name := range cfg.circuitList() {
-		run, err := RunCircuit(name)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row(run))
-		if observe != nil {
-			observe(run)
+// mapCircuits is the circuit-level fan-out shared by every table driver and
+// RunAll: it runs fn once per configured circuit across a bounded pool
+// (work-stealing over the circuit list, so cheap circuits do not idle a
+// worker while a big one runs) and returns the kept results in
+// circuitList() order — the serial row order of the paper's tables —
+// regardless of completion order. The cfg.Workers budget is split between
+// the levels rather than multiplied: fn receives the inner worker count to
+// thread into the per-circuit simulation and Procedure 1, so total
+// CPU-bound goroutines stay ≈ Workers instead of Workers², and at most
+// min(Workers, circuits) universes are live at once. fn returning
+// keep=false drops the circuit from the output (Tables 3/5/6 skip circuits
+// without a tail). On error the remaining unstarted circuits are abandoned
+// and the error of the earliest-indexed failed circuit is returned.
+func mapCircuits[T any](cfg *Config, fn func(name string, workers int) (T, bool, error)) ([]T, error) {
+	names := cfg.circuitList()
+	vals := make([]T, len(names))
+	keep := make([]bool, len(names))
+	errs := make([]error, len(names))
+
+	total := sim.ResolveWorkers(cfg.Workers)
+	outer := total
+	if outer > len(names) {
+		outer = len(names)
+	}
+	inner := 1
+	if outer > 0 {
+		inner = total / outer
+		if inner < 1 {
+			inner = 1
 		}
 	}
-	return rows, nil
+
+	var failed atomic.Bool
+	sim.ParallelFor(outer, len(names), func(i int) {
+		if failed.Load() {
+			return
+		}
+		v, ok, err := fn(names[i], inner)
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		vals[i], keep[i] = v, ok
+	})
+
+	out := make([]T, 0, len(names))
+	for i := range names {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if keep[i] {
+			out = append(out, vals[i])
+		}
+	}
+	return out, nil
+}
+
+// observer serializes a progress callback across the circuit workers.
+// Callbacks fire in completion order, not row order.
+func observer[T any](observe func(T)) func(T) {
+	if observe == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(v T) {
+		mu.Lock()
+		defer mu.Unlock()
+		observe(v)
+	}
+}
+
+// Table2 computes the worst-case coverage rows for the configured circuits.
+// The callback, when non-nil, observes each completed circuit (progress
+// reporting; completion order). Each universe is released as soon as its
+// circuit is summarized; up to min(Workers, circuits) are live at once.
+func Table2(cfg Config, observe func(*CircuitRun)) ([]report.Table2Row, error) {
+	cfg.normalize()
+	obs := observer(observe)
+	return mapCircuits(&cfg, func(name string, workers int) (report.Table2Row, bool, error) {
+		run, err := RunCircuitWorkers(name, workers)
+		if err != nil {
+			return report.Table2Row{}, false, err
+		}
+		row := Table2Row(run)
+		if obs != nil {
+			obs(run)
+		}
+		return row, true, nil
+	})
 }
 
 // Table2Row summarizes one circuit's worst-case run as a Table 2 row.
@@ -127,20 +216,22 @@ func Table3Row(run *CircuitRun) report.Table3Row {
 // nmin(g) ≥ 11 faults are included.
 func Table3(cfg Config, observe func(*CircuitRun)) ([]report.Table3Row, error) {
 	cfg.normalize()
-	var rows []report.Table3Row
-	for _, name := range cfg.circuitList() {
-		run, err := RunCircuit(name)
+	obs := observer(observe)
+	return mapCircuits(&cfg, func(name string, workers int) (report.Table3Row, bool, error) {
+		run, err := RunCircuitWorkers(name, workers)
 		if err != nil {
-			return nil, err
+			return report.Table3Row{}, false, err
 		}
-		if run.WC.CountAtLeast(11) > 0 {
-			rows = append(rows, Table3Row(run))
+		keep := run.WC.CountAtLeast(11) > 0
+		row := report.Table3Row{}
+		if keep {
+			row = Table3Row(run)
 		}
-		if observe != nil {
-			observe(run)
+		if obs != nil {
+			obs(run)
 		}
-	}
-	return rows, nil
+		return row, keep, nil
+	})
 }
 
 // Figure2 renders the nmin distribution histogram for one circuit (the
@@ -195,29 +286,28 @@ func sortByNMin(idx []int, nmin []int) {
 // circuit that has nmin ≥ 11 faults, producing Table 5 rows.
 func Table5(cfg Config, observe func(string)) ([]report.Table5Row, error) {
 	cfg.normalize()
-	var rows []report.Table5Row
-	for _, name := range cfg.circuitList() {
-		run, err := RunCircuit(name)
+	obs := observer(observe)
+	return mapCircuits(&cfg, func(name string, workers int) (report.Table5Row, bool, error) {
+		run, err := RunCircuitWorkers(name, workers)
 		if err != nil {
-			return nil, err
+			return report.Table5Row{}, false, err
 		}
 		idx := ge11Subset(run, cfg.Ge11Limit)
 		if len(idx) == 0 {
-			continue
+			return report.Table5Row{}, false, nil
 		}
 		sub := run.Universe.SubsetUntargeted(idx)
 		res, err := ndetect.Procedure1(sub, ndetect.Procedure1Options{
-			NMax: cfg.NMax, K: cfg.K5, Seed: cfg.Seed,
+			NMax: cfg.NMax, K: cfg.K5, Seed: cfg.Seed, Workers: workers,
 		})
 		if err != nil {
-			return nil, err
+			return report.Table5Row{}, false, err
 		}
-		rows = append(rows, thresholdRow(name, res, cfg.NMax))
-		if observe != nil {
-			observe(name)
+		if obs != nil {
+			obs(name)
 		}
-	}
-	return rows, nil
+		return thresholdRow(name, res, cfg.NMax), true, nil
+	})
 }
 
 func thresholdRow(name string, res *ndetect.Procedure1Result, n int) report.Table5Row {
@@ -231,35 +321,44 @@ func thresholdRow(name string, res *ndetect.Procedure1Result, n int) report.Tabl
 // configured circuit with nmin ≥ 11 faults.
 func Table6(cfg Config, observe func(string)) ([]report.Table6Row, error) {
 	cfg.normalize()
-	var rows []report.Table6Row
-	for _, name := range cfg.circuitList() {
-		run, err := RunCircuit(name)
+	obs := observer(observe)
+	return mapCircuits(&cfg, func(name string, workers int) (report.Table6Row, bool, error) {
+		run, err := RunCircuitWorkers(name, workers)
 		if err != nil {
-			return nil, err
+			return report.Table6Row{}, false, err
 		}
 		idx := ge11Subset(run, cfg.Ge11Limit)
 		if len(idx) == 0 {
-			continue
+			return report.Table6Row{}, false, nil
 		}
-		sub := run.Universe.SubsetUntargeted(idx)
-		opts := ndetect.Procedure1Options{NMax: cfg.NMax, K: cfg.K6, Seed: cfg.Seed}
-		r1, err := ndetect.Procedure1(sub, opts)
+		row, err := table6Row(&cfg, name, run, idx, run.Universe.SubsetUntargeted(idx), workers)
 		if err != nil {
-			return nil, err
+			return report.Table6Row{}, false, err
 		}
-		opts.Definition = ndetect.Def2
-		opts.Checker = ndetect.NewCircuitCheckerFor(run.Universe)
-		r2, err := ndetect.Procedure1(sub, opts)
-		if err != nil {
-			return nil, err
+		if obs != nil {
+			obs(name)
 		}
-		row := report.Table6Row{Circuit: name, Faults: len(idx)}
-		copy(row.Def1[:], r1.ThresholdCounts(cfg.NMax))
-		copy(row.Def2[:], r2.ThresholdCounts(cfg.NMax))
-		rows = append(rows, row)
-		if observe != nil {
-			observe(name)
-		}
+		return row, true, nil
+	})
+}
+
+// table6Row computes one circuit's Definition 1 vs 2 comparison (shared by
+// Table6 and RunAll, which pass in the nmin ≥ 11 subset they already built
+// and their per-circuit worker budget).
+func table6Row(cfg *Config, name string, run *CircuitRun, idx []int, sub *ndetect.Universe, workers int) (report.Table6Row, error) {
+	opts := ndetect.Procedure1Options{NMax: cfg.NMax, K: cfg.K6, Seed: cfg.Seed, Workers: workers}
+	r1, err := ndetect.Procedure1(sub, opts)
+	if err != nil {
+		return report.Table6Row{}, err
 	}
-	return rows, nil
+	opts.Definition = ndetect.Def2
+	opts.Checker = ndetect.NewCircuitCheckerFor(run.Universe)
+	r2, err := ndetect.Procedure1(sub, opts)
+	if err != nil {
+		return report.Table6Row{}, err
+	}
+	row := report.Table6Row{Circuit: name, Faults: len(idx)}
+	copy(row.Def1[:], r1.ThresholdCounts(cfg.NMax))
+	copy(row.Def2[:], r2.ThresholdCounts(cfg.NMax))
+	return row, nil
 }

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunAllWorkersDeterministic is the acceptance property of the parallel
+// engine at the circuit level: RunAll with a fanned-out worker pool emits
+// tables byte-identical to the serial pass — same rows, same order.
+func TestRunAllWorkersDeterministic(t *testing.T) {
+	base := Config{
+		Circuits: []string{"lion", "bbara", "train4", "log"},
+		K5:       20, K6: 10, Ge11Limit: 20, Seed: 5,
+	}
+
+	serial := base
+	serial.Workers = 1
+	want, err := RunAll(serial, "bbara", true, true, nil)
+	if err != nil {
+		t.Fatalf("RunAll serial: %v", err)
+	}
+
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := RunAll(cfg, "bbara", true, true, nil)
+		if err != nil {
+			t.Fatalf("RunAll workers=%d: %v", workers, err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("workers=%d results differ from serial:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestTablesWorkersDeterministic checks the standalone table drivers the
+// same way, including the row filtering of Tables 3 and 5.
+func TestTablesWorkersDeterministic(t *testing.T) {
+	base := Config{Circuits: []string{"lion", "log", "bbara"}, K5: 20, Ge11Limit: 20, Seed: 7}
+
+	serial := base
+	serial.Workers = 1
+	t2s, err := Table2(serial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3s, err := Table3(serial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5s, err := Table5(serial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Workers = 8
+	t2p, err := Table2(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3p, err := Table3(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5p, err := Table5(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fmt.Sprintf("%v", t2p) != fmt.Sprintf("%v", t2s) {
+		t.Fatalf("Table2 differs:\n got %v\nwant %v", t2p, t2s)
+	}
+	if fmt.Sprintf("%v", t3p) != fmt.Sprintf("%v", t3s) {
+		t.Fatalf("Table3 differs:\n got %v\nwant %v", t3p, t3s)
+	}
+	if fmt.Sprintf("%v", t5p) != fmt.Sprintf("%v", t5s) {
+		t.Fatalf("Table5 differs:\n got %v\nwant %v", t5p, t5s)
+	}
+}
+
+// TestMapCircuitsErrorSurfaces checks that a failing circuit aborts the run
+// with its error rather than a partial table.
+func TestMapCircuitsErrorSurfaces(t *testing.T) {
+	cfg := Config{Circuits: []string{"lion", "no-such-circuit"}, Workers: 4}
+	if _, err := Table2(cfg, nil); err == nil {
+		t.Fatal("Table2 swallowed an unknown-circuit error")
+	}
+	cfg.Workers = 1
+	if _, err := Table2(cfg, nil); err == nil {
+		t.Fatal("serial Table2 swallowed an unknown-circuit error")
+	}
+}

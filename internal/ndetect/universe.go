@@ -77,7 +77,14 @@ type CircuitUniverse struct {
 //	G = detectable non-feedback four-way bridging faults between outputs of
 //	    multi-input gates.
 func FromCircuit(c *circuit.Circuit) (*CircuitUniverse, error) {
-	e, err := sim.Run(c)
+	return FromCircuitWorkers(c, 0)
+}
+
+// FromCircuitWorkers is FromCircuit with an explicit worker count for the
+// exhaustive simulation and T-set construction (0 = one worker per CPU,
+// 1 = serial). The universe built is identical for every worker count.
+func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, error) {
+	e, err := sim.RunWorkers(c, workers)
 	if err != nil {
 		return nil, err
 	}

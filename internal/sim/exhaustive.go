@@ -32,14 +32,32 @@ const MaxInputs = 24
 type Exhaustive struct {
 	Circuit *Circuit
 	Values  []*bitset.Set
+
+	// Workers bounds the parallelism of every analysis derived from this
+	// simulation (PropMasks, StuckAtTSets, BridgeTSets) and of the word-
+	// sharded propagation in RunWorkers. 0 means one worker per CPU; 1
+	// reproduces the serial execution order exactly. Output is identical
+	// for every value.
+	Workers int
 }
 
 // Circuit aliases circuit.Circuit so callers reading this package's
 // signatures see the dependency explicitly.
 type Circuit = circuit.Circuit
 
-// Run simulates all 2^m input vectors with 64-way bit parallelism.
+// Run simulates all 2^m input vectors with 64-way bit parallelism, using one
+// worker per CPU for large universes (see RunWorkers).
 func Run(c *Circuit) (*Exhaustive, error) {
+	return RunWorkers(c, 0)
+}
+
+// RunWorkers is Run with an explicit worker count (0 = one per CPU). For
+// universes of at least 2^15 vectors the topological propagation is sharded
+// into contiguous word ranges evaluated concurrently — every 64-bit word of
+// every node value depends only on the same word of its fanins, so each
+// shard runs the full topological order over its own slice of U and the
+// result is byte-identical to the serial pass.
+func RunWorkers(c *Circuit, workers int) (*Exhaustive, error) {
 	m := c.NumInputs()
 	if m > MaxInputs {
 		return nil, fmt.Errorf("sim: circuit %q has %d inputs; exhaustive analysis is limited to %d (partition the circuit)", c.Name, m, MaxInputs)
@@ -48,6 +66,7 @@ func Run(c *Circuit) (*Exhaustive, error) {
 	e := &Exhaustive{
 		Circuit: c,
 		Values:  make([]*bitset.Set, c.NumNodes()),
+		Workers: workers,
 	}
 	for i := range e.Values {
 		e.Values[i] = bitset.New(size)
@@ -94,39 +113,62 @@ func alternating(shift uint) uint64 {
 
 // propagate evaluates the given nodes (a topological sub-order) into vals.
 // Input and overridden nodes must already be set; they are skipped by
-// callers passing orders that exclude them.
+// callers passing orders that exclude them. Large universes are split into
+// contiguous word shards, each evaluated through the whole order by its own
+// worker; word w of a node depends only on word w of its fanins, so the
+// shards are independent and the result matches the serial pass exactly.
 func (e *Exhaustive) propagate(order []int, vals []*bitset.Set) {
 	c := e.Circuit
-	for _, id := range order {
-		n := c.Node(id)
-		evalNodeParallel(c, n, vals)
+	nWords := len(e.Values[0].Words())
+	shards := wordShards(e.Workers, nWords)
+	if shards == nil {
+		for _, id := range order {
+			evalNodeWords(c, c.Node(id), vals, 0, nWords)
+		}
+		return
 	}
+	ParallelFor(len(shards), len(shards), func(s int) {
+		lo, hi := shards[s][0], shards[s][1]
+		for _, id := range order {
+			evalNodeWords(c, c.Node(id), vals, lo, hi)
+		}
+	})
 }
 
 // evalNodeParallel computes one node's value words from its fanins' words.
 // Inputs are left untouched.
 func evalNodeParallel(c *Circuit, n *circuit.Node, vals []*bitset.Set) {
+	evalNodeWords(c, n, vals, 0, len(vals[n.ID].Words()))
+}
+
+// evalNodeWords evaluates one node over the word range [lo, hi). Restricting
+// the range is what makes sharded propagation possible; every case writes
+// through SetWord so the final word's unused high bits stay masked.
+func evalNodeWords(c *Circuit, n *circuit.Node, vals []*bitset.Set, lo, hi int) {
 	out := vals[n.ID]
-	words := out.Words()
 	switch n.Kind {
 	case circuit.Input:
 		// set by Run
 	case circuit.Const0:
-		out.Clear()
+		for w := lo; w < hi; w++ {
+			out.SetWord(w, 0)
+		}
 	case circuit.Const1:
-		out.Fill()
+		for w := lo; w < hi; w++ {
+			out.SetWord(w, ^uint64(0))
+		}
 	case circuit.Buf, circuit.Branch:
 		src := vals[n.Fanin[0]].Words()
-		for w := range words {
+		for w := lo; w < hi; w++ {
 			out.SetWord(w, src[w])
 		}
 	case circuit.Not:
 		src := vals[n.Fanin[0]].Words()
-		for w := range words {
+		for w := lo; w < hi; w++ {
 			out.SetWord(w, ^src[w])
 		}
 	case circuit.And, circuit.Nand:
-		for w := range words {
+		for w := lo; w < hi; w++ {
 			acc := ^uint64(0)
 			for _, f := range n.Fanin {
 				acc &= vals[f].Words()[w]
@@ -137,7 +179,7 @@ func evalNodeParallel(c *Circuit, n *circuit.Node, vals []*bitset.Set) {
 			out.SetWord(w, acc)
 		}
 	case circuit.Or, circuit.Nor:
-		for w := range words {
+		for w := lo; w < hi; w++ {
 			acc := uint64(0)
 			for _, f := range n.Fanin {
 				acc |= vals[f].Words()[w]
@@ -148,7 +190,7 @@ func evalNodeParallel(c *Circuit, n *circuit.Node, vals []*bitset.Set) {
 			out.SetWord(w, acc)
 		}
 	case circuit.Xor, circuit.Xnor:
-		for w := range words {
+		for w := lo; w < hi; w++ {
 			acc := uint64(0)
 			for _, f := range n.Fanin {
 				acc ^= vals[f].Words()[w]

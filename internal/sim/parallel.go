@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolution: everywhere in this package a worker count of 0 (or
+// negative) means "one worker per available CPU", and 1 means the exact
+// serial execution order of the original implementation. Because every
+// parallel site writes into pre-allocated, index-addressed slots, the output
+// is byte-identical for every worker count; only wall-clock time changes.
+
+// ResolveWorkers maps the public 0-means-auto convention onto a concrete
+// worker count.
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), fanned out over at most
+// `workers` goroutines pulling indices from a shared atomic counter (work
+// stealing, so heterogeneous per-index costs balance). workers ≤ 1 runs the
+// loop inline in index order. fn must write only to per-index state. It is
+// the one worker pool every parallel site in the engine shares (exp's
+// circuit fan-out included).
+func ParallelFor(workers, n int, fn func(i int)) {
+	workers = ResolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardMinWords is the smallest word-range worth handing to its own
+// goroutine during exhaustive propagation: below it (2^14 vectors) the
+// spawn/synchronization overhead outweighs the simulation itself.
+const shardMinWords = 256
+
+// wordShards splits [0, nWords) into at most `workers` contiguous ranges of
+// at least shardMinWords words each. It returns nil when the universe is too
+// small to be worth sharding, signalling the caller to stay serial.
+func wordShards(workers, nWords int) [][2]int {
+	workers = ResolveWorkers(workers)
+	if workers <= 1 || nWords < 2*shardMinWords {
+		return nil
+	}
+	shards := nWords / shardMinWords
+	if shards > workers {
+		shards = workers
+	}
+	out := make([][2]int, 0, shards)
+	per := nWords / shards
+	lo := 0
+	for s := 0; s < shards; s++ {
+		hi := lo + per
+		if s == shards-1 {
+			hi = nWords
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndetect/internal/fault"
+)
+
+func TestWordShardsCoverAndStaySerialWhenSmall(t *testing.T) {
+	if s := wordShards(8, shardMinWords*2-1); s != nil {
+		t.Fatalf("small universe must stay serial, got %d shards", len(s))
+	}
+	if s := wordShards(1, 1<<16); s != nil {
+		t.Fatal("workers=1 must stay serial")
+	}
+	for _, tc := range []struct{ workers, nWords int }{
+		{2, shardMinWords * 2}, {8, 1 << 14}, {3, shardMinWords*2 + 17}, {64, 1 << 10},
+	} {
+		shards := wordShards(tc.workers, tc.nWords)
+		if shards == nil {
+			t.Fatalf("workers=%d nWords=%d: expected shards", tc.workers, tc.nWords)
+		}
+		if len(shards) > tc.workers {
+			t.Fatalf("more shards (%d) than workers (%d)", len(shards), tc.workers)
+		}
+		at := 0
+		for _, s := range shards {
+			if s[0] != at || s[1] <= s[0] {
+				t.Fatalf("shards not contiguous: %v", shards)
+			}
+			if s[1]-s[0] < shardMinWords {
+				t.Fatalf("shard below minimum size: %v", shards)
+			}
+			at = s[1]
+		}
+		if at != tc.nWords {
+			t.Fatalf("shards cover [0,%d), want [0,%d)", at, tc.nWords)
+		}
+	}
+}
+
+func TestParallelForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		hits := make([]int, 1000)
+		ParallelFor(workers, len(hits), func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestRunWorkersDeterministic checks the central contract of the parallel
+// engine: the sharded propagation and parallel T-set construction produce
+// byte-identical results for every worker count, on a circuit large enough
+// (16 inputs → 1024 words) that sharding actually engages.
+func TestRunWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := randomCircuit(t, rng, 16, 60)
+
+	e1, err := RunWorkers(c, 1)
+	if err != nil {
+		t.Fatalf("RunWorkers(1): %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		eN, err := RunWorkers(c, workers)
+		if err != nil {
+			t.Fatalf("RunWorkers(%d): %v", workers, err)
+		}
+		for id := range e1.Values {
+			if !e1.Values[id].Equal(eN.Values[id]) {
+				t.Fatalf("workers=%d: node %d values differ from serial", workers, id)
+			}
+		}
+
+		faults := fault.CollapseStuckAt(c)
+		t1 := e1.StuckAtTSets(faults)
+		tN := eN.StuckAtTSets(faults)
+		for i := range t1 {
+			if !t1[i].Equal(tN[i]) {
+				t.Fatalf("workers=%d: stuck-at T-set %d differs from serial", workers, i)
+			}
+		}
+
+		bridges := fault.Bridges(c)
+		b1 := e1.BridgeTSets(bridges)
+		bN := eN.BridgeTSets(bridges)
+		for i := range b1 {
+			if !b1[i].Equal(bN[i]) {
+				t.Fatalf("workers=%d: bridge T-set %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunMatchesRunWorkersSerial pins Run (auto worker count) to the serial
+// reference on the small shared test circuit, where sharding never engages
+// but the fault-level pools do.
+func TestRunMatchesRunWorkersSerial(t *testing.T) {
+	c := testCircuit(t)
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkers(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a.Values {
+		if !a.Values[id].Equal(b.Values[id]) {
+			t.Fatalf("node %d: Run and RunWorkers(1) disagree", id)
+		}
+	}
+}

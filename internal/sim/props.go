@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"slices"
 	"sort"
 
 	"ndetect/internal/bitset"
@@ -57,16 +58,22 @@ func (e *Exhaustive) PropMask(id int) *bitset.Set {
 
 // PropMasks computes PropMask for a set of lines, caching nothing between
 // lines (each line's cone resimulation is independent). IDs are deduplicated
-// and the result is keyed by node ID.
+// and the result is keyed by node ID. The per-line resimulations — the hot
+// loop of T-set construction — run on e.Workers workers, each writing its
+// own pre-allocated slot, so the result is identical for any worker count.
 func (e *Exhaustive) PropMasks(ids []int) map[int]*bitset.Set {
 	uniq := append([]int(nil), ids...)
 	sort.Ints(uniq)
+	uniq = slices.Compact(uniq)
+
+	sets := make([]*bitset.Set, len(uniq))
+	ParallelFor(e.Workers, len(uniq), func(i int) {
+		sets[i] = e.PropMask(uniq[i])
+	})
+
 	out := make(map[int]*bitset.Set, len(uniq))
 	for i, id := range uniq {
-		if i > 0 && uniq[i-1] == id {
-			continue
-		}
-		out[id] = e.PropMask(id)
+		out[id] = sets[i]
 	}
 	return out
 }

@@ -17,7 +17,8 @@ func (e *Exhaustive) StuckAtTSets(faults []fault.StuckAt) []*bitset.Set {
 	props := e.PropMasks(ids)
 
 	out := make([]*bitset.Set, len(faults))
-	for i, f := range faults {
+	ParallelFor(e.Workers, len(faults), func(i int) {
+		f := faults[i]
 		t := props[f.Node].Clone()
 		tw := t.Words()
 		gw := e.Values[f.Node].Words()
@@ -30,7 +31,7 @@ func (e *Exhaustive) StuckAtTSets(faults []fault.StuckAt) []*bitset.Set {
 			}
 		}
 		out[i] = t
-	}
+	})
 	return out
 }
 
@@ -45,7 +46,8 @@ func (e *Exhaustive) BridgeTSets(bridges []fault.Bridge) []*bitset.Set {
 	props := e.PropMasks(ids)
 
 	out := make([]*bitset.Set, len(bridges))
-	for i, g := range bridges {
+	ParallelFor(e.Workers, len(bridges), func(i int) {
+		g := bridges[i]
 		t := props[g.Victim].Clone()
 		tw := t.Words()
 		dw := e.Values[g.Dominant].Words()
@@ -60,7 +62,7 @@ func (e *Exhaustive) BridgeTSets(bridges []fault.Bridge) []*bitset.Set {
 			t.SetWord(w, tw[w]&act)
 		}
 		out[i] = t
-	}
+	})
 	return out
 }
 

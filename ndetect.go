@@ -132,8 +132,17 @@ func Synthesize(m *STG, opts SynthOptions) (*SynthResult, error) {
 // Analyze builds the paper's experimental setup for a circuit: F = collapsed
 // stuck-at faults, G = detectable non-feedback four-way bridging faults
 // between outputs of multi-input gates, with all T-sets computed by
-// exhaustive bit-parallel simulation.
+// exhaustive bit-parallel simulation (one worker per CPU; see
+// AnalyzeParallel).
 func Analyze(c *Circuit) (*CircuitUniverse, error) { return core.FromCircuit(c) }
+
+// AnalyzeParallel is Analyze with an explicit worker count for the
+// exhaustive simulation and T-set construction: 0 means one worker per CPU,
+// 1 forces the serial path. The universe built is identical for every
+// worker count; only wall-clock time changes. See DESIGN.md §5.
+func AnalyzeParallel(c *Circuit, workers int) (*CircuitUniverse, error) {
+	return core.FromCircuitWorkers(c, workers)
+}
 
 // WorstCase runs the paper's Section 2 analysis: nmin(g) for every
 // untargeted fault.

@@ -118,6 +118,28 @@ func BenchmarkRunAllParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionedAnalysis measures the end-to-end large-circuit
+// pipeline (Split → per-part exhaustive analysis → MergeNMin) on the
+// embedded 64-input .bench sample — the workload class the exhaustive
+// engine cannot touch at all (2^64 vectors). One worker per CPU; the
+// budget is split between concurrent parts and their inner simulation.
+func BenchmarkPartitionedAnalysis(b *testing.B) {
+	c, err := EmbeddedBenchCircuit("w64")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := AnalyzePartitioned(c, PartitionOptions{MaxInputs: 16}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Merged) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
 // BenchmarkWorstCaseExample runs the worst-case analysis on the paper's
 // published Table 1 detection sets.
 func BenchmarkWorstCaseExample(b *testing.B) {

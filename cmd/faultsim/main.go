@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	faultsim -netlist FILE [-tests FILE] [-verify N] [-def2] [-faults]
+//	faultsim -netlist FILE [-format net|bench] [-tests FILE] [-verify N] [-def2] [-faults]
 //	faultsim -bench NAME  ...
+//
+// -format bench parses the file as an ISCAS-85/89 .bench netlist (DFFs
+// stripped to the full-scan combinational view); -bench also accepts the
+// embedded .bench samples (c17, s27, w64) besides the FSM surrogates.
 //
 // The test set file holds one input vector per line, in the paper's
 // decimal MSB-first notation (e.g. "6" means 0110 for a 4-input circuit);
@@ -19,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -28,6 +33,7 @@ import (
 func main() {
 	var (
 		netF    = flag.String("netlist", "", "netlist file")
+		formatF = flag.String("format", "net", `syntax of the -netlist file: "net" or "bench" (ISCAS .bench)`)
 		benchF  = flag.String("bench", "", "embedded benchmark name")
 		testsF  = flag.String("tests", "", "test set file (decimal vectors; default: exhaustive)")
 		verifyF = flag.Int("verify", 0, "verify the test set is an N-detection test set")
@@ -43,7 +49,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		cc, err := ndetect.ReadNetlist(f)
+		var cc *ndetect.Circuit
+		switch *formatF {
+		case "net", "":
+			cc, err = ndetect.ReadNetlist(f)
+		case "bench":
+			cc, err = ndetect.ReadBench(strings.TrimSuffix(filepath.Base(*netF), ".bench"), f)
+		default:
+			err = fmt.Errorf("unknown -format %q (want net or bench)", *formatF)
+		}
 		f.Close()
 		if err != nil {
 			fail(err)
@@ -52,7 +66,17 @@ func main() {
 	case *benchF != "" && *netF == "":
 		b, ok := ndetect.BenchmarkByName(*benchF)
 		if !ok {
-			fail(fmt.Errorf("unknown benchmark %q", *benchF))
+			cc, err := ndetect.EmbeddedBenchCircuit(*benchF)
+			if err != nil {
+				var names []string
+				for _, bm := range ndetect.Benchmarks() {
+					names = append(names, bm.Name)
+				}
+				names = append(names, ndetect.EmbeddedBenchNames()...)
+				fail(fmt.Errorf("unknown benchmark %q; known: %s", *benchF, strings.Join(names, " ")))
+			}
+			c = cc
+			break
 		}
 		r, err := b.SynthesizeDefault()
 		if err != nil {

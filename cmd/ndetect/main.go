@@ -5,15 +5,26 @@
 //
 // The circuit comes from one of:
 //
-//	-bench NAME     an embedded benchmark (see -list)
-//	-netlist FILE   a text netlist (circuit/input/output/gate statements)
+//	-bench NAME     an embedded benchmark: an FSM surrogate or an ISCAS
+//	                .bench sample like c17 or w64 (see -list)
+//	-netlist FILE   a circuit file; -format selects the syntax:
+//	                "net" (default, circuit/input/output/gate statements)
+//	                or "bench" (ISCAS-85/89 .bench, DFFs stripped)
 //	-kiss2 FILE     a KISS2 FSM, synthesized first
+//
+// Circuits too wide for exhaustive analysis (> sim.MaxInputs inputs) can
+// be analysed with -partition MAXINPUTS, which splits the circuit into
+// output cones of at most MAXINPUTS inputs, analyses every part, and
+// merges the per-part worst-case verdicts (the paper's Section 4
+// workaround; see DESIGN.md §8 for what the merged numbers mean).
 //
 // Examples:
 //
 //	ndetect -bench bbara
 //	ndetect -bench dvram -hist 100
 //	ndetect -netlist adder.net -avg -k 500
+//	ndetect -netlist c880.bench -format bench -partition 16
+//	ndetect -bench w64 -partition 16 -workers 8
 //	ndetect -kiss2 machine.kiss2 -avg
 package main
 
@@ -21,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"ndetect/internal/bench"
@@ -36,6 +49,7 @@ func main() {
 	var (
 		benchF   = flag.String("bench", "", "embedded benchmark name")
 		netF     = flag.String("netlist", "", "netlist file")
+		formatF  = flag.String("format", "net", `syntax of the -netlist file: "net" or "bench" (ISCAS .bench)`)
 		kissF    = flag.String("kiss2", "", "KISS2 FSM file (synthesized before analysis)")
 		listF    = flag.Bool("list", false, "list embedded benchmarks and exit")
 		avgF     = flag.Bool("avg", false, "also run the average-case analysis (Procedure 1)")
@@ -59,16 +73,23 @@ func main() {
 			}
 			fmt.Printf("%-10s %2d in, %2d out, %2d states (%s)\n", b.Name, b.Inputs, b.Outputs, b.States, src)
 		}
+		for _, name := range circuit.EmbeddedBenchNames() {
+			c, err := circuit.EmbeddedBench(name)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-10s %2d in, %2d out (ISCAS .bench sample)\n", name, c.NumInputs(), c.NumOutputs())
+		}
 		return
 	}
 
-	c, err := loadCircuit(*benchF, *netF, *kissF, *twoLevel)
+	c, err := loadCircuit(*benchF, *netF, *kissF, *formatF, *twoLevel)
 	if err != nil {
 		fail(err)
 	}
 
 	if *partF > 0 {
-		analyzePartitioned(c, *partF, *workersF)
+		analyzePartitioned(c, *partF, *workersF, *worstF)
 		return
 	}
 
@@ -82,7 +103,7 @@ func main() {
 		len(u.Targets), u.DetectableTargets())
 	fmt.Printf("untargeted |G| = %d detectable non-feedback four-way bridging faults\n\n", len(u.Untargeted))
 
-	wc := ndetect.WorstCase(&u.Universe)
+	wc := ndetect.WorstCaseWorkers(&u.Universe, *workersF)
 	fmt.Println("worst-case analysis (Section 2):")
 	for _, n := range report.NMinColumns {
 		fmt.Printf("  nmin(g) ≤ %-3d : %6.2f%% of G guaranteed by any %d-detection test set\n",
@@ -112,7 +133,7 @@ func main() {
 	}
 }
 
-func loadCircuit(benchName, netFile, kissFile string, twoLevel bool) (*circuit.Circuit, error) {
+func loadCircuit(benchName, netFile, kissFile, format string, twoLevel bool) (*circuit.Circuit, error) {
 	sources := 0
 	for _, s := range []string{benchName, netFile, kissFile} {
 		if s != "" {
@@ -126,7 +147,12 @@ func loadCircuit(benchName, netFile, kissFile string, twoLevel bool) (*circuit.C
 	case benchName != "":
 		b, ok := bench.ByName(benchName)
 		if !ok {
-			return nil, fmt.Errorf("unknown benchmark %q; known: %s", benchName, strings.Join(bench.Names(), " "))
+			// Fall back to the embedded ISCAS .bench samples (c17, s27, w64).
+			if c, err := circuit.EmbeddedBench(benchName); err == nil {
+				return c, nil
+			}
+			return nil, fmt.Errorf("unknown benchmark %q; known: %s %s", benchName,
+				strings.Join(bench.Names(), " "), strings.Join(circuit.EmbeddedBenchNames(), " "))
 		}
 		opts := bench.DefaultOptions()
 		if twoLevel {
@@ -143,7 +169,14 @@ func loadCircuit(benchName, netFile, kissFile string, twoLevel bool) (*circuit.C
 			return nil, err
 		}
 		defer f.Close()
-		return circuit.Parse(f)
+		switch format {
+		case "net", "":
+			return circuit.Parse(f)
+		case "bench":
+			return circuit.ParseBench(strings.TrimSuffix(filepath.Base(netFile), ".bench"), f)
+		default:
+			return nil, fmt.Errorf("unknown -format %q (want net or bench)", format)
+		}
 	default:
 		f, err := os.Open(kissFile)
 		if err != nil {
@@ -222,36 +255,54 @@ func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax
 	fmt.Printf("  mean %d-detection test set size: %.1f vectors\n", nmax, res.MeanSetSize(nmax))
 }
 
-func analyzePartitioned(c *circuit.Circuit, maxIn, workers int) {
-	parts, err := partition.Split(c, partition.Options{MaxInputs: maxIn})
+// analyzePartitioned runs the end-to-end partitioned pipeline (Split →
+// per-part worst-case analysis → MergeNMin) and prints per-part stats plus
+// the merged nmin table. Output is deterministic for every -workers value:
+// parts print in Split order and the merged table iterates sorted names.
+func analyzePartitioned(c *circuit.Circuit, maxIn, workers, worst int) {
+	fmt.Printf("circuit %s: %s\n", c.Name, c.ComputeStats())
+	res, err := partition.AnalyzeParts(c, partition.Options{MaxInputs: maxIn}, workers)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("circuit %s partitioned into %d parts (input limit %d):\n", c.Name, len(parts), maxIn)
-	var perPart []map[string]int
-	for i, p := range parts {
-		u, err := ndetect.FromCircuitWorkers(p.Circuit, workers)
-		if err != nil {
-			fail(err)
-		}
-		wc := ndetect.WorstCase(&u.Universe)
-		fmt.Printf("  part %d: outputs %v, %d inputs, |G| = %d, coverage at n=10: %.2f%%\n",
-			i, p.Outputs, p.Circuit.NumInputs(), len(u.Untargeted), 100*wc.CoverageAt(10))
-		m := make(map[string]int, len(u.Untargeted))
-		for j, g := range u.Untargeted {
-			m[g.Name] = wc.NMin[j]
-		}
-		perPart = append(perPart, m)
+	fmt.Printf("partitioned into %d output-cone parts (input limit %d):\n", len(res.Parts), maxIn)
+	for i, a := range res.Parts {
+		fmt.Printf("  part %d: outputs %v, %d inputs (|U| = %d), %d gates, |F| = %d (%d detectable), |G| = %d, coverage at n=10: %.2f%%\n",
+			i, a.Part.Outputs, a.Stats.Inputs, a.Stats.VectorSpaceSize, a.Stats.Gates,
+			a.Targets, a.DetectableTargets, a.Untargeted, 100*a.CoverageAt(10))
 	}
-	merged := partition.MergeNMin(perPart)
-	guaranteed := 0
-	for _, v := range merged {
-		if v <= 10 {
-			guaranteed++
+
+	fmt.Printf("\nmerged worst-case table over %d distinct bridging faults (per-part bounds, Section 4):\n", len(res.Merged))
+	for _, n := range report.NMinColumns {
+		fmt.Printf("  nmin(g) ≤ %-3d : %6.2f%% guaranteed by any %d-detection test set (within some part)\n",
+			n, 100*res.MergedCoverageAt(n), n)
+	}
+	for _, n := range report.Table3Columns {
+		cnt := res.MergedCountAtLeast(n)
+		fmt.Printf("  nmin(g) ≥ %-3d : %d faults (%.2f%%)\n", n, cnt, pct(cnt, len(res.Merged)))
+	}
+	if unbounded := res.MergedCountAtLeast(ndetect.Unbounded); unbounded > 0 {
+		fmt.Printf("  no guarantee   : %d faults (undetectable through every part that sees them)\n", unbounded)
+	}
+	fmt.Printf("  largest finite nmin: %d\n", res.MergedMaxFinite())
+
+	if worst > 0 {
+		names := res.MergedNames()
+		sort.SliceStable(names, func(a, b int) bool {
+			return res.Merged[names[a]] > res.Merged[names[b]]
+		})
+		if worst > len(names) {
+			worst = len(names)
+		}
+		fmt.Printf("\nhardest %d bridging faults:\n", worst)
+		for _, g := range names[:worst] {
+			nm := fmt.Sprint(res.Merged[g])
+			if res.Merged[g] == ndetect.Unbounded {
+				nm = "∞"
+			}
+			fmt.Printf("  %-28s nmin = %s\n", g, nm)
 		}
 	}
-	fmt.Printf("merged: %d distinct bridging faults seen, %d (%.2f%%) guaranteed at n ≤ 10\n",
-		len(merged), guaranteed, pct(guaranteed, len(merged)))
 }
 
 func pct(a, b int) float64 {

@@ -1,0 +1,41 @@
+package circuit
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Embedded .bench sample circuits. c17 is the smallest ISCAS-85 benchmark,
+// s27 the smallest ISCAS-89 one (DFF-stripped on load), and w64 a 64-input
+// combinational sample whose output cones stay narrow enough for the
+// partitioned analysis — wide circuits like it are the workload the
+// partition package exists for.
+//
+//go:embed benchdata/*.bench
+var benchFS embed.FS
+
+// EmbeddedBenchNames lists the embedded .bench samples, sorted.
+func EmbeddedBenchNames() []string {
+	entries, err := benchFS.ReadDir("benchdata")
+	if err != nil {
+		panic(err) // embedded directory is fixed at build time
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".bench"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EmbeddedBench parses one embedded .bench sample by name (e.g. "c17").
+func EmbeddedBench(name string) (*Circuit, error) {
+	src, err := benchFS.ReadFile("benchdata/" + name + ".bench")
+	if err != nil {
+		return nil, fmt.Errorf("circuit: no embedded bench sample %q (have %s)",
+			name, strings.Join(EmbeddedBenchNames(), " "))
+	}
+	return ParseBenchString(name, string(src))
+}

@@ -14,6 +14,7 @@ package circuit
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -158,8 +159,15 @@ func (c *Circuit) NumGates() int {
 }
 
 // VectorSpaceSize returns |U| = 2^NumInputs, the size of the exhaustive input
-// space the analysis enumerates.
-func (c *Circuit) VectorSpaceSize() int { return 1 << uint(c.NumInputs()) }
+// space the analysis enumerates, or 0 when 2^NumInputs overflows int —
+// exactly the circuits that must go through the partition package instead.
+func (c *Circuit) VectorSpaceSize() int {
+	m := c.NumInputs()
+	if m >= bits.UintSize-1 {
+		return 0
+	}
+	return 1 << uint(m)
+}
 
 // Node returns the node with the given ID.
 func (c *Circuit) Node(id int) *Node { return c.Nodes[id] }
@@ -513,8 +521,14 @@ func (c *Circuit) ComputeStats() Stats {
 	return s
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Circuits too wide for |U| to fit an
+// int (VectorSpaceSize 0 — the partition package's territory) render it
+// symbolically.
 func (s Stats) String() string {
-	return fmt.Sprintf("in=%d out=%d gates=%d (multi-input %d) branches=%d depth=%d |U|=%d",
-		s.Inputs, s.Outputs, s.Gates, s.MultiInputGates, s.Branches, s.MaxLevel, s.VectorSpaceSize)
+	u := fmt.Sprint(s.VectorSpaceSize)
+	if s.VectorSpaceSize == 0 {
+		u = fmt.Sprintf("2^%d", s.Inputs)
+	}
+	return fmt.Sprintf("in=%d out=%d gates=%d (multi-input %d) branches=%d depth=%d |U|=%s",
+		s.Inputs, s.Outputs, s.Gates, s.MultiInputGates, s.Branches, s.MaxLevel, u)
 }

@@ -67,8 +67,10 @@ func RunCircuit(name string) (*CircuitRun, error) {
 	return RunCircuitWorkers(name, 0)
 }
 
-// RunCircuitWorkers is RunCircuit with an explicit worker count for the
-// exhaustive simulation and T-set construction (0 = one per CPU).
+// RunCircuitWorkers is RunCircuit with an explicit worker count threaded
+// into every stage — exhaustive simulation, T-set construction and the
+// worst-case analysis (0 = one per CPU). mapCircuits passes its split
+// per-circuit budget here, so the stages never multiply it back up.
 func RunCircuitWorkers(name string, workers int) (*CircuitRun, error) {
 	b, ok := bench.ByName(name)
 	if !ok {
@@ -82,7 +84,7 @@ func RunCircuitWorkers(name string, workers int) (*CircuitRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CircuitRun{Name: name, Universe: u, WC: ndetect.WorstCase(&u.Universe)}, nil
+	return &CircuitRun{Name: name, Universe: u, WC: ndetect.WorstCaseWorkers(&u.Universe, workers)}, nil
 }
 
 // circuitList resolves the configured circuit set.

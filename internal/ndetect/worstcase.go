@@ -2,11 +2,10 @@ package ndetect
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"ndetect/internal/bitset"
+	"ndetect/internal/sim"
 )
 
 // Unbounded is the nmin value of an untargeted fault no n-detection test set
@@ -75,9 +74,19 @@ type WorstCaseResult struct {
 	NMin []int
 }
 
-// WorstCase runs the Section 2 analysis over the whole universe, in
-// parallel over the untargeted faults (each nmin(g) is independent).
+// WorstCase runs the Section 2 analysis over the whole universe with one
+// worker per CPU (see WorstCaseWorkers).
 func WorstCase(u *Universe) *WorstCaseResult {
+	return WorstCaseWorkers(u, 0)
+}
+
+// WorstCaseWorkers is WorstCase with an explicit worker bound, in parallel
+// over the untargeted faults (each nmin(g) is independent): 0 means one
+// worker per CPU, 1 the exact serial order. The result is identical for
+// every worker count; only wall-clock time changes (DESIGN.md §5 — the
+// knob must be threaded, not re-resolved, so callers that split a budget
+// across concurrent circuits or parts stay within it).
+func WorstCaseWorkers(u *Universe, workers int) *WorstCaseResult {
 	r := &WorstCaseResult{NMin: make([]int, len(u.Untargeted))}
 
 	// Precompute N(f) once and visit targets in ascending N(f): the lower
@@ -116,36 +125,7 @@ func WorstCase(u *Universe) *WorstCaseResult {
 		r.NMin[j] = best
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(u.Untargeted) {
-		workers = len(u.Untargeted)
-	}
-	if workers <= 1 {
-		for j := range u.Untargeted {
-			one(j)
-		}
-		return r
-	}
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				j := int(next)
-				next++
-				mu.Unlock()
-				if j >= len(u.Untargeted) {
-					return
-				}
-				one(j)
-			}
-		}()
-	}
-	wg.Wait()
+	sim.ParallelFor(workers, len(u.Untargeted), one)
 	return r
 }
 

@@ -207,6 +207,26 @@ func TestCoverageAndCounts(t *testing.T) {
 	}
 }
 
+// TestWorstCaseWorkersDeterministic pins the §5 invariant for the
+// worst-case stage: the Workers knob changes wall-clock time only, and
+// workers=1 is the exact serial path (no hidden GOMAXPROCS fan-out).
+func TestWorstCaseWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		u := randomUniverse(rng, 128, 12, 30)
+		want := WorstCaseWorkers(u, 1)
+		for _, workers := range []int{2, 8, 0} {
+			got := WorstCaseWorkers(u, workers)
+			for j := range want.NMin {
+				if got.NMin[j] != want.NMin[j] {
+					t.Fatalf("trial %d workers=%d: nmin[%d] = %d, want %d",
+						trial, workers, j, got.NMin[j], want.NMin[j])
+				}
+			}
+		}
+	}
+}
+
 func TestEmptyUntargetedCoverage(t *testing.T) {
 	wc := WorstCase(&Universe{Size: 4, Targets: []Fault{{Name: "f", T: bitset.FromMembers(4, 0)}}})
 	if wc.CoverageAt(1) != 1 {

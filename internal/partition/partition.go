@@ -7,7 +7,9 @@
 // cone of a group of primary outputs, greedily grown so the part's support
 // (the primary inputs it depends on) stays within a configurable limit.
 // Each part is a self-contained circuit that package ndetect can analyse
-// exhaustively over its own (smaller) input space.
+// exhaustively over its own (smaller) input space. AnalyzeParts drives the
+// whole pipeline — Split, per-part worst-case analysis across a bounded
+// worker pool, MergeNMin — deterministically for every worker count.
 //
 // The per-part analysis is an approximation of the full-circuit analysis:
 // a part sees only a projection of the input space (each part vector
@@ -36,20 +38,29 @@ type Part struct {
 	Support []int
 }
 
+// DefaultMaxInputs is the per-part support bound used when Options leaves
+// MaxInputs unset.
+const DefaultMaxInputs = 16
+
 // Options controls partitioning.
 type Options struct {
-	// MaxInputs bounds each part's support (default 16).
+	// MaxInputs bounds each part's support (default DefaultMaxInputs).
 	MaxInputs int
+}
+
+// effectiveMaxInputs resolves the configured limit.
+func (o Options) effectiveMaxInputs() int {
+	if o.MaxInputs <= 0 {
+		return DefaultMaxInputs
+	}
+	return o.MaxInputs
 }
 
 // Split partitions the circuit into output-cone parts. Outputs whose cones
 // individually exceed MaxInputs are rejected with an error (no exhaustive
 // analysis can cover them; a different decomposition would be needed).
 func Split(c *circuit.Circuit, opts Options) ([]*Part, error) {
-	maxIn := opts.MaxInputs
-	if maxIn <= 0 {
-		maxIn = 16
-	}
+	maxIn := opts.effectiveMaxInputs()
 
 	// Per output: the set of input positions in its cone.
 	inputPos := make(map[int]int, len(c.Inputs))
@@ -153,9 +164,7 @@ func Extract(c *circuit.Circuit, outputPositions []int) (*Part, error) {
 	var support []int
 
 	// Emit inputs first, in original order.
-	inputSet := make(map[int]bool, len(c.Inputs))
 	for pos, id := range c.Inputs {
-		inputSet[id] = true
 		if inCone[id] {
 			b.Input(c.Node(id).Name)
 			support = append(support, pos)

@@ -118,6 +118,24 @@ func ParseNetlist(src string) (*Circuit, error) { return circuit.ParseString(src
 // ReadNetlist reads a circuit from a reader.
 func ReadNetlist(r io.Reader) (*Circuit, error) { return circuit.Parse(r) }
 
+// ParseBench reads a circuit in the ISCAS-85/89 .bench format
+// (INPUT/OUTPUT declarations and `out = GATE(in, ...)` statements).
+// ISCAS-89 DFFs are stripped to the full-scan combinational view: each
+// flip-flop's output becomes a pseudo primary input and its data signal a
+// pseudo primary output. The name is the circuit name to record (.bench
+// files carry none).
+func ParseBench(name, src string) (*Circuit, error) { return circuit.ParseBenchString(name, src) }
+
+// ReadBench reads a .bench circuit from a reader.
+func ReadBench(name string, r io.Reader) (*Circuit, error) { return circuit.ParseBench(name, r) }
+
+// EmbeddedBenchNames lists the embedded ISCAS .bench samples (c17, s27,
+// and the 64-input partition workload w64).
+func EmbeddedBenchNames() []string { return circuit.EmbeddedBenchNames() }
+
+// EmbeddedBenchCircuit parses one embedded .bench sample by name.
+func EmbeddedBenchCircuit(name string) (*Circuit, error) { return circuit.EmbeddedBench(name) }
+
 // ParseKISS2 reads a KISS2 finite-state machine.
 func ParseKISS2(name, src string) (*STG, error) { return kiss.ParseString(name, src) }
 
@@ -145,8 +163,15 @@ func AnalyzeParallel(c *Circuit, workers int) (*CircuitUniverse, error) {
 }
 
 // WorstCase runs the paper's Section 2 analysis: nmin(g) for every
-// untargeted fault.
+// untargeted fault, with one worker per CPU.
 func WorstCase(u *Universe) *WorstCaseResult { return core.WorstCase(u) }
+
+// WorstCaseWorkers is WorstCase with an explicit worker bound (0 = one per
+// CPU, 1 = the exact serial path). The result is identical for every
+// worker count.
+func WorstCaseWorkers(u *Universe, workers int) *WorstCaseResult {
+	return core.WorstCaseWorkers(u, workers)
+}
 
 // NMin computes nmin(g) for a single fault against a target set.
 func NMin(g Fault, targets []Fault) int { return core.NMin(g, targets) }
@@ -224,8 +249,25 @@ func UntargetedCoverage(ts *TestSet, untargeted []Fault) int {
 // Part is one subcircuit produced by SplitCircuit.
 type Part = partition.Part
 
-// PartitionOptions controls SplitCircuit.
+// PartitionOptions controls SplitCircuit and AnalyzePartitioned.
 type PartitionOptions = partition.Options
+
+// PartAnalysis is one part's summarized worst-case analysis.
+type PartAnalysis = partition.PartAnalysis
+
+// PartitionedResult is the outcome of AnalyzePartitioned: per-part
+// summaries in Split order plus the merged per-fault nmin map.
+type PartitionedResult = partition.AnalysisResult
+
+// AnalyzePartitioned runs the paper's Section 4 workaround end to end for
+// circuits too wide for exhaustive analysis: Split into ≤ MaxInputs-input
+// output cones, exhaustive worst-case analysis per part across a bounded
+// worker pool (the budget is split between parts and their inner
+// simulation, DESIGN.md §5), and MergeNMin over the per-part verdicts.
+// The result is identical for every worker count.
+func AnalyzePartitioned(c *Circuit, opts PartitionOptions, workers int) (*PartitionedResult, error) {
+	return partition.AnalyzeParts(c, opts, workers)
+}
 
 // SplitCircuit partitions a circuit into output-cone subcircuits whose
 // input counts stay within the limit, the paper's Section 4 workaround for

@@ -179,6 +179,54 @@ func TestFacadePartition(t *testing.T) {
 	}
 }
 
+func TestFacadeBenchFormat(t *testing.T) {
+	c, err := ParseBench("half", `
+		INPUT(a)
+		INPUT(b)
+		OUTPUT(s)
+		OUTPUT(co)
+		s = XOR(a, b)
+		co = AND(a, b)
+	`)
+	if err != nil {
+		t.Fatalf("ParseBench: %v", err)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 2 {
+		t.Fatalf("half adder interface = %d/%d", c.NumInputs(), c.NumOutputs())
+	}
+	names := EmbeddedBenchNames()
+	if len(names) == 0 {
+		t.Fatal("no embedded bench samples")
+	}
+	if _, err := EmbeddedBenchCircuit("c17"); err != nil {
+		t.Fatalf("EmbeddedBenchCircuit(c17): %v", err)
+	}
+}
+
+// TestFacadeAnalyzePartitioned runs the end-to-end large-circuit pipeline
+// through the public API: a >60-input .bench sample that Analyze must
+// reject, analysed part by part instead.
+func TestFacadeAnalyzePartitioned(t *testing.T) {
+	c, err := EmbeddedBenchCircuit("w64")
+	if err != nil {
+		t.Fatalf("EmbeddedBenchCircuit(w64): %v", err)
+	}
+	if _, err := Analyze(c); err == nil {
+		t.Fatal("Analyze accepted a 64-input circuit; MaxInputs guard gone")
+	}
+	res, err := AnalyzePartitioned(c, PartitionOptions{MaxInputs: 16}, 0)
+	if err != nil {
+		t.Fatalf("AnalyzePartitioned: %v", err)
+	}
+	if len(res.Parts) < 2 || len(res.Merged) == 0 {
+		t.Fatalf("partitioned result too small: %d parts, %d merged faults", len(res.Parts), len(res.Merged))
+	}
+	wc := WorstCaseWorkers(&Universe{Size: 4, Targets: []Fault{}, Untargeted: []Fault{}}, 2)
+	if len(wc.NMin) != 0 {
+		t.Fatal("WorstCaseWorkers facade broken")
+	}
+}
+
 func TestTestSetFacade(t *testing.T) {
 	ts := NewTestSet(8)
 	ts.Add(1)

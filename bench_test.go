@@ -13,6 +13,7 @@ import (
 	"ndetect/internal/bench"
 	"ndetect/internal/bitset"
 	"ndetect/internal/encode"
+	"ndetect/internal/engine"
 	"ndetect/internal/exp"
 	core "ndetect/internal/ndetect"
 	"ndetect/internal/sim"
@@ -181,15 +182,49 @@ func mustCircuit(b *testing.B, name string) *Circuit {
 	return r.Circuit
 }
 
-// BenchmarkExhaustiveParallel measures 64-way bit-parallel exhaustive
-// simulation (the production path).
+// BenchmarkExhaustiveParallel measures 64-way bit-parallel materialization
+// of every node's universe bitset — the old production path, kept behind
+// sim.RunRetained as the ablation baseline for the streaming engine.
 func BenchmarkExhaustiveParallel(b *testing.B) {
 	c := mustCircuit(b, "bbara")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(c); err != nil {
+		if _, err := sim.RunRetained(c, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineCompile measures lowering a circuit into the engine's
+// levelized instruction programs: the pinned analysis program plus the
+// output-directed program with register reuse.
+func BenchmarkEngineCompile(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.CompileAll(c)
+		engine.Compile(c, nil)
+	}
+}
+
+// BenchmarkEngineStream measures the streaming T-set kernel end to end —
+// compile, then stream U in word blocks accumulating only per-fault result
+// bitsets. Compare against BenchmarkExhaustiveParallel +
+// BenchmarkTSetsViaPropMasks, the old materialize-then-mask pipeline.
+func BenchmarkEngineStream(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	u, err := Analyze(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := u.StuckAt
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := sim.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.StuckAtTSets(faults)
 	}
 }
 
@@ -203,8 +238,9 @@ func BenchmarkExhaustiveNaive(b *testing.B) {
 	}
 }
 
-// BenchmarkTSetsViaPropMasks measures T-set extraction through shared
-// flip-propagation masks (the production path).
+// BenchmarkTSetsViaPropMasks measures T-set extraction alone (cone replay
+// shared per line, the production streaming path) against a pre-built
+// simulation view, isolating it from compile time.
 func BenchmarkTSetsViaPropMasks(b *testing.B) {
 	c := mustCircuit(b, "bbara")
 	e, err := sim.Run(c)

@@ -36,9 +36,10 @@ func main() {
 		formatF = flag.String("format", "net", `syntax of the -netlist file: "net" or "bench" (ISCAS .bench)`)
 		benchF  = flag.String("bench", "", "embedded benchmark name")
 		testsF  = flag.String("tests", "", "test set file (decimal vectors; default: exhaustive)")
-		verifyF = flag.Int("verify", 0, "verify the test set is an N-detection test set")
-		def2F   = flag.Bool("def2", false, "also count detections under Definition 2")
-		faultsF = flag.Bool("faults", false, "per-fault detail")
+		verifyF  = flag.Int("verify", 0, "verify the test set is an N-detection test set")
+		def2F    = flag.Bool("def2", false, "also count detections under Definition 2")
+		faultsF  = flag.Bool("faults", false, "per-fault detail")
+		workersF = flag.Int("workers", 0, "worker pool size for the exhaustive analysis (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -87,7 +88,7 @@ func main() {
 		fail(fmt.Errorf("specify exactly one of -netlist or -bench"))
 	}
 
-	u, err := ndetect.Analyze(c)
+	u, err := ndetect.AnalyzeParallel(c, *workersF)
 	if err != nil {
 		fail(err)
 	}

@@ -18,6 +18,11 @@
 // merges the per-part worst-case verdicts (the paper's Section 4
 // workaround; see DESIGN.md §8 for what the merged numbers mean).
 //
+// Kernel work is measurable without editing code: -cpuprofile and
+// -memprofile write pprof profiles of the run (the heap profile of a
+// streaming analysis shows per-fault result bitsets, never per-node
+// universes).
+//
 // Examples:
 //
 //	ndetect -bench bbara
@@ -25,6 +30,7 @@
 //	ndetect -netlist adder.net -avg -k 500
 //	ndetect -netlist c880.bench -format bench -partition 16
 //	ndetect -bench w64 -partition 16 -workers 8
+//	ndetect -bench dvram -cpuprofile cpu.pprof -memprofile mem.pprof
 //	ndetect -kiss2 machine.kiss2 -avg
 package main
 
@@ -33,6 +39,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -62,8 +70,37 @@ func main() {
 		partF    = flag.Int("partition", 0, "partition into ≤N-input cones before analysis (0 = off)")
 		twoLevel = flag.Bool("two-level", false, "use two-level PLA synthesis for -kiss2/-bench")
 		workersF = flag.Int("workers", 0, "worker pool size for simulation, T-sets and -avg (0 = one per CPU, 1 = serial)")
+		cpuprofF = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+		memprofF = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiles are flushed both on normal returns (defer) and in fail()
+	// before os.Exit, so a run stopped by e.g. the memory-budget check
+	// still yields readable pprof data.
+	if *cpuprofF != "" {
+		f, err := os.Create(*cpuprofF)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
+	flushedProfiles := false
+	flushProfiles = func() {
+		if flushedProfiles {
+			return // also breaks the fail() recursion from writeMemProfile
+		}
+		flushedProfiles = true
+		if *cpuprofF != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofF != "" {
+			writeMemProfile(*memprofF)
+		}
+	}
+	defer flushProfiles()
 
 	if *listF {
 		for _, b := range bench.All() {
@@ -312,7 +349,29 @@ func pct(a, b int) float64 {
 	return 100 * float64(a) / float64(b)
 }
 
+// flushProfiles stops the CPU profile and writes the heap profile at most
+// once; fail() invokes it so profiles survive error exits.
+var flushProfiles func()
+
+// writeMemProfile records the live heap at exit — with the streaming engine
+// the profile should show per-fault result bitsets and block scratch, never
+// per-node universes.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fail(err)
+	}
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "ndetect:", err)
+	if flushProfiles != nil {
+		flushProfiles()
+	}
 	os.Exit(1)
 }

@@ -133,8 +133,9 @@ type Circuit struct {
 	Inputs  []int // node IDs of primary inputs, in declaration order
 	Outputs []int // node IDs observed as primary outputs, in declaration order
 
-	byName map[string]int
-	order  []int // topological order of node IDs (computed by finalize)
+	byName     map[string]int
+	order      []int // topological order of node IDs (computed by finalize)
+	levelOrder []int // order sorted by (Level, ID) (computed by finalize)
 }
 
 // NumInputs returns the number of primary inputs.
@@ -183,6 +184,30 @@ func (c *Circuit) NodeByName(name string) (*Node, bool) {
 
 // TopoOrder returns node IDs in a topological order (drivers before driven).
 func (c *Circuit) TopoOrder() []int { return c.order }
+
+// LevelOrder returns node IDs sorted by (Level, ID): a topological order
+// that groups nodes into levels. It is the canonical instruction schedule
+// the engine compiler lowers to — all of a level's gates are contiguous, so
+// a levelized program walks the netlist front to back exactly once.
+func (c *Circuit) LevelOrder() []int { return c.levelOrder }
+
+// ConsumerCounts returns, for every node, the number of times its value is
+// read: once per gate input pin it drives plus once per primary-output
+// observation. The engine's register allocator retires a node's register
+// after its last read — the liveness information behind "live registers ≪
+// nodes" for output-directed programs.
+func (c *Circuit) ConsumerCounts() []int {
+	counts := make([]int, len(c.Nodes))
+	for _, n := range c.Nodes {
+		for _, f := range n.Fanin {
+			counts[f]++
+		}
+	}
+	for _, o := range c.Outputs {
+		counts[o]++
+	}
+	return counts
+}
 
 // MaxLevel returns the largest node level (circuit depth).
 func (c *Circuit) MaxLevel() int {
@@ -433,6 +458,17 @@ func (c *Circuit) finalize() error {
 		return fmt.Errorf("circuit %q: combinational loop detected", c.Name)
 	}
 	c.order = order
+
+	// The level order is computed eagerly so concurrent readers (the engine
+	// compiles circuits from many goroutines) never race on a lazy cache.
+	c.levelOrder = append([]int(nil), order...)
+	sort.SliceStable(c.levelOrder, func(a, b int) bool {
+		la, lb := c.Nodes[c.levelOrder[a]].Level, c.Nodes[c.levelOrder[b]].Level
+		if la != lb {
+			return la < lb
+		}
+		return c.levelOrder[a] < c.levelOrder[b]
+	})
 
 	// Every non-output node should drive something; dangling nodes are
 	// legal (synthesis can produce unused signals) but outputs must exist.

@@ -411,3 +411,77 @@ func b2i(b bool) int {
 	}
 	return 0
 }
+
+func TestLevelOrderIsLevelGroupedTopo(t *testing.T) {
+	b := NewBuilder("levels")
+	b.Input("a")
+	b.Input("c")
+	b.Gate(And, "g1", "a", "c")
+	b.Gate(Or, "g2", "a", "g1")
+	b.Gate(Xor, "g3", "g1", "g2")
+	b.Output("g3")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lo := c.LevelOrder()
+	if len(lo) != c.NumNodes() {
+		t.Fatalf("LevelOrder has %d nodes, want %d", len(lo), c.NumNodes())
+	}
+	seen := make(map[int]bool, len(lo))
+	prevLevel := -1
+	for _, id := range lo {
+		n := c.Node(id)
+		if n.Level < prevLevel {
+			t.Fatalf("LevelOrder not grouped by level: node %d at level %d after level %d", id, n.Level, prevLevel)
+		}
+		prevLevel = n.Level
+		for _, f := range n.Fanin {
+			if !seen[f] {
+				t.Fatalf("node %d scheduled before fanin %d", id, f)
+			}
+		}
+		seen[id] = true
+	}
+}
+
+func TestConsumerCounts(t *testing.T) {
+	b := NewBuilder("consumers")
+	b.Input("a")
+	b.Input("c")
+	b.Gate(And, "g1", "a", "c")
+	b.Gate(Or, "g2", "a", "c")
+	b.Output("g1")
+	b.Output("g2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	counts := c.ConsumerCounts()
+	// Stems a and c each feed two branches; each branch feeds one gate pin;
+	// each gate output is observed once.
+	for _, name := range []string{"a", "c"} {
+		n, _ := c.NodeByName(name)
+		if counts[n.ID] != 2 {
+			t.Errorf("stem %s: %d consumers, want 2", name, counts[n.ID])
+		}
+	}
+	for _, name := range []string{"g1", "g2"} {
+		n, _ := c.NodeByName(name)
+		if counts[n.ID] != 1 {
+			t.Errorf("output gate %s: %d consumers, want 1", name, counts[n.ID])
+		}
+	}
+	total := 0
+	for _, n := range c.Nodes {
+		total += len(n.Fanin)
+	}
+	total += c.NumOutputs()
+	sum := 0
+	for _, v := range counts {
+		sum += v
+	}
+	if sum != total {
+		t.Errorf("consumer counts sum %d, want %d (fanin edges + outputs)", sum, total)
+	}
+}

@@ -1,0 +1,171 @@
+package engine
+
+import "fmt"
+
+// ConeProgram is the compiled fanout cone of one line: the instructions
+// that replay the circuit downstream of the line with its value flipped,
+// reading untouched side inputs from the good-value bank of a full Program
+// block and faulty values from a compact cone-local bank. Register 0 of the
+// faulty bank is the flipped line itself; negative instruction operands ^r
+// address good-bank register r.
+//
+// Streaming fault analysis runs one ConeProgram per fault line per block:
+// the words where any reachable output disagrees with the good machine are
+// exactly the line's flip-propagation mask for that block.
+type ConeProgram struct {
+	Site    int
+	Instrs  []Instr
+	NumRegs int
+	// Outputs pairs, for every primary output reachable from the site, the
+	// good-bank register with the faulty-bank register to compare.
+	Outputs []ConeOut
+}
+
+// ConeOut is one observable output of a cone: Good addresses the full
+// program's bank, Bad the cone-local bank.
+type ConeOut struct {
+	Good, Bad int32
+}
+
+// CompileCone lowers the transitive fanout cone of site against this
+// program's register file. The program must come from CompileAll, so every
+// side input the cone reads is materialized.
+func (p *Program) CompileCone(site int) *ConeProgram {
+	p.mustKeepAll("CompileCone")
+	c := p.Circuit
+	inCone := c.TransitiveFanout(site)
+
+	cp := &ConeProgram{Site: site}
+	badReg := make([]int32, c.NumNodes())
+	for i := range badReg {
+		badReg[i] = -1
+	}
+	badReg[site] = 0
+	next := int32(1)
+	regOf := func(f int) int32 {
+		if badReg[f] >= 0 {
+			return badReg[f]
+		}
+		return ^p.NodeReg[f] // good bank
+	}
+	for _, id := range c.LevelOrder() {
+		if !inCone[id] || id == site {
+			continue
+		}
+		dst := next
+		next++
+		badReg[id] = dst
+		emitNode(c.Node(id), dst, regOf, &cp.Instrs)
+	}
+	cp.NumRegs = int(next)
+	for _, o := range c.Outputs {
+		if inCone[o] {
+			cp.Outputs = append(cp.Outputs, ConeOut{Good: p.NodeReg[o], Bad: badReg[o]})
+		}
+	}
+	return cp
+}
+
+// ConeExec is a reusable faulty-bank register file for cone programs. One
+// ConeExec serves any number of cone programs of any size (the backing
+// grows on demand); like Exec it is single-goroutine scratch.
+type ConeExec struct {
+	cap  int // words per register
+	n    int // words of the current block
+	regs []uint64
+}
+
+// NewConeExec returns a cone execution context for blocks of up to
+// blockWords words.
+func NewConeExec(blockWords int) *ConeExec {
+	return &ConeExec{cap: blockWords}
+}
+
+// Run replays the cone over x's current block: the site register is filled
+// with the flipped good value, then every cone instruction executes,
+// reading good-bank operands from x.
+func (cx *ConeExec) Run(cp *ConeProgram, x *Exec) {
+	if x.cap != cx.cap {
+		panic(fmt.Sprintf("engine: cone block capacity %d != exec capacity %d", cx.cap, x.cap))
+	}
+	cx.n = x.n
+	if need := cp.NumRegs * cx.cap; len(cx.regs) < need {
+		cx.regs = make([]uint64, need)
+	}
+	site := x.Node(cp.Site)
+	dst := cx.reg(0)
+	for w := range dst {
+		dst[w] = ^site[w]
+	}
+	for _, ins := range cp.Instrs {
+		dst := cx.reg(ins.Dst)
+		switch ins.Op {
+		case OpCopy:
+			copy(dst, cx.operand(ins.A, x))
+		case OpNot:
+			a := cx.operand(ins.A, x)
+			for w := range dst {
+				dst[w] = ^a[w]
+			}
+		case OpAnd:
+			a, b := cx.operand(ins.A, x), cx.operand(ins.B, x)
+			for w := range dst {
+				dst[w] = a[w] & b[w]
+			}
+		case OpNand:
+			a, b := cx.operand(ins.A, x), cx.operand(ins.B, x)
+			for w := range dst {
+				dst[w] = ^(a[w] & b[w])
+			}
+		case OpOr:
+			a, b := cx.operand(ins.A, x), cx.operand(ins.B, x)
+			for w := range dst {
+				dst[w] = a[w] | b[w]
+			}
+		case OpNor:
+			a, b := cx.operand(ins.A, x), cx.operand(ins.B, x)
+			for w := range dst {
+				dst[w] = ^(a[w] | b[w])
+			}
+		case OpXor:
+			a, b := cx.operand(ins.A, x), cx.operand(ins.B, x)
+			for w := range dst {
+				dst[w] = a[w] ^ b[w]
+			}
+		case OpXnor:
+			a, b := cx.operand(ins.A, x), cx.operand(ins.B, x)
+			for w := range dst {
+				dst[w] = ^(a[w] ^ b[w])
+			}
+		default:
+			// Cones never contain inputs or constants: both are fanin-free.
+			panic(fmt.Sprintf("engine: op %v in cone program", ins.Op))
+		}
+	}
+}
+
+// OrProp ORs into dst (length ≥ block words) the words where any reachable
+// output of the cone disagrees with the good machine — the block's slice of
+// the site's flip-propagation mask. Run must have executed for x's current
+// block.
+func (cx *ConeExec) OrProp(cp *ConeProgram, dst []uint64, x *Exec) {
+	for _, co := range cp.Outputs {
+		g := x.Reg(co.Good)
+		b := cx.reg(co.Bad)
+		for w := range g {
+			dst[w] |= g[w] ^ b[w]
+		}
+	}
+}
+
+func (cx *ConeExec) reg(r int32) []uint64 {
+	base := int(r) * cx.cap
+	return cx.regs[base : base+cx.n]
+}
+
+func (cx *ConeExec) operand(r int32, x *Exec) []uint64 {
+	if r < 0 {
+		return x.Reg(^r)
+	}
+	return cx.reg(r)
+}

@@ -35,7 +35,8 @@ type Config struct {
 	Ge11Limit int
 	// Workers bounds the parallelism of the run at every level: circuits
 	// fan out across a bounded pool, and the same count is threaded into
-	// the per-circuit exhaustive simulation / T-set construction and into
+	// the per-circuit block-streaming T-set kernel (engine word blocks or
+	// fault-level fan-out, whichever the universe size favors) and into
 	// Procedure 1. 0 = one worker per CPU; 1 reproduces the original
 	// serial pass. Tables are identical for every value — rows are always
 	// emitted in circuitList() order.

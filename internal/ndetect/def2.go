@@ -129,8 +129,9 @@ func (s *def2State) pickDistinct(i int, f *Fault, tk *TestSet, rng *rand.Rand) (
 // constantly. The faulty-machine simulation is restricted to the fault's
 // output cone (precomputed per fault).
 type CircuitChecker struct {
-	c      *circuit.Circuit
-	faults []fault.StuckAt
+	c        *circuit.Circuit
+	compiled *sim.Compiled // one engine lowering shared by every cone
+	faults   []fault.StuckAt
 
 	mu    sync.RWMutex
 	cache []map[uint64]bool // per fault: key = lo<<32 | hi
@@ -141,10 +142,11 @@ type CircuitChecker struct {
 // must be the structural fault behind Targets[i].
 func NewCircuitChecker(c *circuit.Circuit, faults []fault.StuckAt) *CircuitChecker {
 	return &CircuitChecker{
-		c:      c,
-		faults: faults,
-		cache:  make([]map[uint64]bool, len(faults)),
-		cones:  make([]*sim.FaultCone, len(faults)),
+		c:        c,
+		compiled: sim.CompileCircuit(c),
+		faults:   faults,
+		cache:    make([]map[uint64]bool, len(faults)),
+		cones:    make([]*sim.FaultCone, len(faults)),
 	}
 }
 
@@ -176,7 +178,7 @@ func (cc *CircuitChecker) Distinct(faultIndex, t1, t2 int) bool {
 	cc.mu.RUnlock()
 
 	if cone == nil {
-		cone = sim.NewFaultCone(cc.c, cc.faults[faultIndex].Node)
+		cone = cc.compiled.NewFaultCone(cc.faults[faultIndex].Node)
 	}
 
 	pattern := sim.CommonTest(uint64(lo), uint64(hi), cc.c.NumInputs())
@@ -233,7 +235,7 @@ func (cc *CircuitChecker) DistinctAll(faultIndex, v int, ds []int) bool {
 	}
 
 	if cone == nil {
-		cone = sim.NewFaultCone(cc.c, cc.faults[faultIndex].Node)
+		cone = cc.compiled.NewFaultCone(cc.faults[faultIndex].Node)
 	}
 	result := true
 	verdicts := make([]bool, 0, len(pending))
@@ -313,7 +315,7 @@ func (cc *CircuitChecker) FirstDistinct(faultIndex int, cands []int, ds []int) i
 
 		if len(pendingIdx) > 0 {
 			if cone == nil {
-				cone = sim.NewFaultCone(cc.c, cc.faults[faultIndex].Node)
+				cone = cc.compiled.NewFaultCone(cc.faults[faultIndex].Node)
 			}
 			verdicts := make([]bool, 0, len(pendingIdx))
 			for start := 0; start < len(pendingIdx); start += 64 {

@@ -66,8 +66,6 @@ type CircuitUniverse struct {
 	StuckAt []fault.StuckAt
 	// Bridges[i] is the structural fault behind Untargeted[i].
 	Bridges []fault.Bridge
-	// Exhaustive is the true-value simulation the T-sets were derived from.
-	Exhaustive *sim.Exhaustive
 }
 
 // FromCircuit builds the paper's experimental setup for a circuit:
@@ -83,6 +81,10 @@ func FromCircuit(c *circuit.Circuit) (*CircuitUniverse, error) {
 // FromCircuitWorkers is FromCircuit with an explicit worker count for the
 // exhaustive simulation and T-set construction (0 = one worker per CPU,
 // 1 = serial). The universe built is identical for every worker count.
+//
+// The T-sets are streamed — only the per-fault result bitsets span U — so
+// the construction is bounded by an explicit memory-budget check on those
+// results (sim.MemoryBudget) instead of by materialized per-node values.
 func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, error) {
 	e, err := sim.RunWorkers(c, workers)
 	if err != nil {
@@ -90,9 +92,12 @@ func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, erro
 	}
 
 	sas := fault.CollapseStuckAt(c)
-	saT := e.StuckAtTSets(sas)
-
 	brs := fault.Bridges(c)
+	if err := sim.CheckResultBudget(c, len(sas)+len(brs)); err != nil {
+		return nil, err
+	}
+
+	saT := e.StuckAtTSets(sas)
 	brT := e.BridgeTSets(brs)
 	brs, brT = sim.FilterDetectableBridges(brs, brT)
 
@@ -102,10 +107,9 @@ func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, erro
 			Targets:    make([]Fault, len(sas)),
 			Untargeted: make([]Fault, len(brs)),
 		},
-		Circuit:    c,
-		StuckAt:    sas,
-		Bridges:    brs,
-		Exhaustive: e,
+		Circuit: c,
+		StuckAt: sas,
+		Bridges: brs,
 	}
 	for i, f := range sas {
 		u.Targets[i] = Fault{Name: f.Name(c), T: saT[i]}

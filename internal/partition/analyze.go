@@ -10,8 +10,9 @@ import (
 )
 
 // PartAnalysis is the worst-case analysis of one part, summarized so the
-// part's universe (which can dominate memory for wide parts) is released
-// as soon as the part completes.
+// part's universe (whose per-fault T-sets can dominate memory for wide
+// parts, even though the streaming engine materializes no per-node values)
+// is released as soon as the part completes.
 type PartAnalysis struct {
 	Part *Part
 	// Stats describes the part's subcircuit.

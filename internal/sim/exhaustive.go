@@ -1,7 +1,6 @@
 // Package sim computes everything the analysis needs from a circuit by
 // exhaustive simulation of its input space U:
 //
-//   - bit-parallel true-value simulation of all |U| = 2^m vectors,
 //   - flip-propagation masks (per line, the vectors at which flipping the
 //     line is visible at a primary output),
 //   - the exhaustive detection sets T(f) for stuck-at faults and T(g) for
@@ -9,213 +8,209 @@
 //   - 3-valued (0/1/X) simulation with fault injection, used by the paper's
 //     Definition 2 of distinct detections.
 //
+// The heavy lifting happens in package engine: circuits are compiled once
+// into a levelized instruction program, and every analysis streams U in
+// word blocks through that program, accumulating only the per-fault result
+// bitsets. Per-node value bitsets over all of U are materialized only on
+// request (RunRetained) for the ablation benchmarks and value-inspection
+// tests.
+//
 // The paper's analysis "is based on the set U of all the input vectors of
 // the circuit" and "can be done only for circuits with small numbers of
-// inputs"; Run enforces the same restriction.
+// inputs"; Run enforces the same restriction, though streaming moved the
+// practical ceiling from 24 to 28 inputs.
 package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"ndetect/internal/bitset"
 	"ndetect/internal/circuit"
+	"ndetect/internal/engine"
 )
 
-// MaxInputs bounds the exhaustive analysis. 2^24 vectors × a few thousand
-// lines is the practical ceiling for a laptop-scale run; the benchmarks in
-// the paper all have at most 13 circuit inputs.
-const MaxInputs = 24
+// MaxInputs bounds the exhaustive analysis. The streaming engine keeps only
+// O(registers · block) scratch per worker plus the per-fault result
+// bitsets, so the bound is set by result memory and simulation time rather
+// than by materializing per-node universes; 2^28 vectors is the practical
+// ceiling for a laptop-scale run (the benchmarks in the paper all have at
+// most 13 circuit inputs). Analyses whose results alone would not fit are
+// rejected by CheckResultBudget.
+const MaxInputs = 28
 
-// Exhaustive holds the true value of every node at every input vector:
-// Values[id] is a bitset over U whose bit v is the value of node id under
-// vector v.
+// MemoryBudget bounds, in bytes, the bitset memory a single analysis may
+// materialize: the per-fault T-sets of a universe construction, or the
+// per-node value sets of RunRetained. It exists so that raising MaxInputs
+// cannot silently turn into a multi-gigabyte allocation — wide circuits
+// with large fault universes must go through the partition package instead.
+var MemoryBudget = int64(4) << 30
+
+// CheckResultBudget returns an error when materializing `sets` result
+// bitsets over the circuit's vector space would exceed MemoryBudget.
+func CheckResultBudget(c *circuit.Circuit, sets int) error {
+	bytes := int64(sets) * int64((c.VectorSpaceSize()+7)/8)
+	if bytes > MemoryBudget {
+		return fmt.Errorf("sim: circuit %q: %d result bitsets over |U| = 2^%d need %d MiB, over the %d MiB budget (raise sim.MemoryBudget or partition the circuit)",
+			c.Name, sets, c.NumInputs(), bytes>>20, MemoryBudget>>20)
+	}
+	return nil
+}
+
+// Exhaustive is a compiled view of a circuit's exhaustive input space: the
+// analyses derived from it (PropMasks, StuckAtTSets, BridgeTSets) stream U
+// in word blocks through the compiled program, never materializing per-node
+// value bitsets.
 type Exhaustive struct {
 	Circuit *Circuit
-	Values  []*bitset.Set
+
+	// Values holds, per node, the bitset over U of vectors where the node
+	// is 1. It is nil unless the simulation was built with RunRetained —
+	// the opt-in escape hatch for the ablation benchmarks and for tests
+	// that inspect individual node values.
+	Values []*bitset.Set
 
 	// Workers bounds the parallelism of every analysis derived from this
-	// simulation (PropMasks, StuckAtTSets, BridgeTSets) and of the word-
-	// sharded propagation in RunWorkers. 0 means one worker per CPU; 1
-	// reproduces the serial execution order exactly. Output is identical
-	// for every value.
+	// simulation. 0 means one worker per CPU; 1 reproduces the serial
+	// execution order exactly. Output is identical for every value.
 	Workers int
+
+	prog *engine.Program
+
+	mu    sync.Mutex
+	cones map[int]*engine.ConeProgram
 }
 
 // Circuit aliases circuit.Circuit so callers reading this package's
 // signatures see the dependency explicitly.
 type Circuit = circuit.Circuit
 
-// Run simulates all 2^m input vectors with 64-way bit parallelism, using one
-// worker per CPU for large universes (see RunWorkers).
+// Run compiles the circuit for exhaustive streaming analysis, using one
+// worker per CPU (see RunWorkers).
 func Run(c *Circuit) (*Exhaustive, error) {
 	return RunWorkers(c, 0)
 }
 
-// RunWorkers is Run with an explicit worker count (0 = one per CPU). For
-// universes of at least 2^15 vectors the topological propagation is sharded
-// into contiguous word ranges evaluated concurrently — every 64-bit word of
-// every node value depends only on the same word of its fanins, so each
-// shard runs the full topological order over its own slice of U and the
-// result is byte-identical to the serial pass.
+// RunWorkers is Run with an explicit worker count (0 = one per CPU). It
+// validates the input bound and lowers the circuit to the engine's
+// levelized instruction program; the returned view computes all derived
+// analyses by streaming U in word blocks, so no universe-sized memory is
+// touched here.
 func RunWorkers(c *Circuit, workers int) (*Exhaustive, error) {
-	m := c.NumInputs()
-	if m > MaxInputs {
+	if m := c.NumInputs(); m > MaxInputs {
 		return nil, fmt.Errorf("sim: circuit %q has %d inputs; exhaustive analysis is limited to %d (partition the circuit)", c.Name, m, MaxInputs)
 	}
-	size := 1 << uint(m)
-	e := &Exhaustive{
+	return &Exhaustive{
 		Circuit: c,
-		Values:  make([]*bitset.Set, c.NumNodes()),
 		Workers: workers,
+		prog:    engine.CompileAll(c),
+		cones:   make(map[int]*engine.ConeProgram),
+	}, nil
+}
+
+// RunRetained is RunWorkers plus materialization of Values, the per-node
+// bitsets over all of U that the pre-engine implementation always built.
+// Only the ablation benchmarks and value-inspection tests need it; every
+// production analysis streams instead. The materialization is checked
+// against MemoryBudget.
+func RunRetained(c *Circuit, workers int) (*Exhaustive, error) {
+	e, err := RunWorkers(c, workers)
+	if err != nil {
+		return nil, err
 	}
+	if err := CheckResultBudget(c, c.NumNodes()); err != nil {
+		return nil, err
+	}
+	size := c.VectorSpaceSize()
+	e.Values = make([]*bitset.Set, c.NumNodes())
 	for i := range e.Values {
 		e.Values[i] = bitset.New(size)
 	}
-
-	// Input i (MSB-first: shift = m-1-i) has value (v >> shift) & 1 at
-	// vector v. Within a 64-bit word covering vectors [64w, 64w+63], inputs
-	// with shift ≥ 6 are constant; inputs with shift < 6 follow a fixed
-	// alternating pattern.
-	for i, id := range c.Inputs {
-		shift := uint(m - 1 - i)
-		dst := e.Values[id]
-		words := dst.Words()
-		if shift >= 6 {
-			for w := range words {
-				base := uint64(w) * 64
-				if (base>>shift)&1 == 1 {
-					dst.SetWord(w, ^uint64(0))
-				}
-			}
-		} else {
-			pat := alternating(shift)
-			for w := range words {
-				dst.SetWord(w, pat)
+	nWords := universeWords(size)
+	streamBlocks(e.prog, e.Workers, nWords, blockWordsFor(nWords, e.Workers), func(lo, hi int, x *engine.Exec) {
+		for id, set := range e.Values {
+			for w, v := range x.Node(id) {
+				set.SetWord(lo+w, v)
 			}
 		}
-	}
-
-	e.propagate(c.TopoOrder(), e.Values)
+	})
 	return e, nil
 }
 
-// alternating returns the 64-bit pattern of bit position `shift` of the
-// vector index: e.g. shift 0 → 0xAAAA...: bit v = (v >> 0) & 1.
-func alternating(shift uint) uint64 {
-	var pat uint64
-	for v := uint(0); v < 64; v++ {
-		if (v>>shift)&1 == 1 {
-			pat |= 1 << v
+// streamBlocks evaluates the program over all universe words in blocks of
+// blockWords, fanning blocks out over the workers, each with its own
+// pooled execution context. emit is called once per evaluated block and
+// must write only into word range [lo, hi) of its results — the invariant
+// that keeps every schedule byte-identical.
+func streamBlocks(prog *engine.Program, workers, nWords, blockWords int, emit func(lo, hi int, x *engine.Exec)) {
+	blocks := blockRanges(nWords, blockWords)
+	var pool sync.Pool
+	ParallelFor(workers, len(blocks), func(bi int) {
+		x, _ := pool.Get().(*engine.Exec)
+		if x == nil {
+			x = engine.NewExec(prog, min(blockWords, nWords))
 		}
-	}
-	return pat
-}
-
-// propagate evaluates the given nodes (a topological sub-order) into vals.
-// Input and overridden nodes must already be set; they are skipped by
-// callers passing orders that exclude them. Large universes are split into
-// contiguous word shards, each evaluated through the whole order by its own
-// worker; word w of a node depends only on word w of its fanins, so the
-// shards are independent and the result matches the serial pass exactly.
-func (e *Exhaustive) propagate(order []int, vals []*bitset.Set) {
-	c := e.Circuit
-	nWords := len(e.Values[0].Words())
-	shards := wordShards(e.Workers, nWords)
-	if shards == nil {
-		for _, id := range order {
-			evalNodeWords(c, c.Node(id), vals, 0, nWords)
-		}
-		return
-	}
-	ParallelFor(len(shards), len(shards), func(s int) {
-		lo, hi := shards[s][0], shards[s][1]
-		for _, id := range order {
-			evalNodeWords(c, c.Node(id), vals, lo, hi)
-		}
+		x.Eval(blocks[bi][0], blocks[bi][1])
+		emit(blocks[bi][0], blocks[bi][1], x)
+		pool.Put(x)
 	})
 }
 
-// evalNodeParallel computes one node's value words from its fanins' words.
-// Inputs are left untouched.
-func evalNodeParallel(c *Circuit, n *circuit.Node, vals []*bitset.Set) {
-	evalNodeWords(c, n, vals, 0, len(vals[n.ID].Words()))
-}
-
-// evalNodeWords evaluates one node over the word range [lo, hi). Restricting
-// the range is what makes sharded propagation possible; every case writes
-// through SetWord so the final word's unused high bits stay masked.
-func evalNodeWords(c *Circuit, n *circuit.Node, vals []*bitset.Set, lo, hi int) {
-	out := vals[n.ID]
-	switch n.Kind {
-	case circuit.Input:
-		// set by Run
-	case circuit.Const0:
-		for w := lo; w < hi; w++ {
-			out.SetWord(w, 0)
-		}
-	case circuit.Const1:
-		for w := lo; w < hi; w++ {
-			out.SetWord(w, ^uint64(0))
-		}
-	case circuit.Buf, circuit.Branch:
-		src := vals[n.Fanin[0]].Words()
-		for w := lo; w < hi; w++ {
-			out.SetWord(w, src[w])
-		}
-	case circuit.Not:
-		src := vals[n.Fanin[0]].Words()
-		for w := lo; w < hi; w++ {
-			out.SetWord(w, ^src[w])
-		}
-	case circuit.And, circuit.Nand:
-		for w := lo; w < hi; w++ {
-			acc := ^uint64(0)
-			for _, f := range n.Fanin {
-				acc &= vals[f].Words()[w]
-			}
-			if n.Kind == circuit.Nand {
-				acc = ^acc
-			}
-			out.SetWord(w, acc)
-		}
-	case circuit.Or, circuit.Nor:
-		for w := lo; w < hi; w++ {
-			acc := uint64(0)
-			for _, f := range n.Fanin {
-				acc |= vals[f].Words()[w]
-			}
-			if n.Kind == circuit.Nor {
-				acc = ^acc
-			}
-			out.SetWord(w, acc)
-		}
-	case circuit.Xor, circuit.Xnor:
-		for w := lo; w < hi; w++ {
-			acc := uint64(0)
-			for _, f := range n.Fanin {
-				acc ^= vals[f].Words()[w]
-			}
-			if n.Kind == circuit.Xnor {
-				acc = ^acc
-			}
-			out.SetWord(w, acc)
-		}
-	default:
-		panic(fmt.Sprintf("sim: unknown kind %v", n.Kind))
+// coneFor returns the compiled fanout cone of a line, cached per line.
+func (e *Exhaustive) coneFor(id int) *engine.ConeProgram {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := e.cones[id]
+	if cp == nil {
+		cp = e.prog.CompileCone(id)
+		e.cones[id] = cp
 	}
+	return cp
 }
 
-// Value returns the good value of node id at vector v.
+// Value returns the good value of node id at vector v. It requires a
+// RunRetained simulation — the streaming view deliberately keeps no
+// per-node universe.
 func (e *Exhaustive) Value(id int, v int) bool {
+	if e.Values == nil {
+		panic("sim: Value requires RunRetained (the streaming view keeps no per-node universe)")
+	}
 	return e.Values[id].Contains(v)
 }
 
 // OutputVectors returns, per primary output, the bitset of vectors at which
-// that output is 1.
-func (e *Exhaustive) OutputVectors() []*bitset.Set {
-	out := make([]*bitset.Set, len(e.Circuit.Outputs))
-	for i, o := range e.Circuit.Outputs {
-		out[i] = e.Values[o].Clone()
+// that output is 1, checking the result allocation against MemoryBudget.
+// Without retained Values it streams an output-directed program — dead
+// logic eliminated and registers reused, so the scratch is O(live
+// registers · block).
+func (e *Exhaustive) OutputVectors() ([]*bitset.Set, error) {
+	c := e.Circuit
+	if err := CheckResultBudget(c, len(c.Outputs)); err != nil {
+		return nil, err
 	}
-	return out
+	if e.Values != nil {
+		out := make([]*bitset.Set, len(c.Outputs))
+		for i, o := range c.Outputs {
+			out[i] = e.Values[o].Clone()
+		}
+		return out, nil
+	}
+	prog := engine.Compile(c, nil)
+	size := c.VectorSpaceSize()
+	out := make([]*bitset.Set, len(c.Outputs))
+	for i := range out {
+		out[i] = bitset.New(size)
+	}
+	nWords := universeWords(size)
+	streamBlocks(prog, e.Workers, nWords, blockWordsFor(nWords, e.Workers), func(lo, hi int, x *engine.Exec) {
+		for i, r := range prog.OutputReg {
+			for w, v := range x.Reg(r) {
+				out[i].SetWord(lo+w, v)
+			}
+		}
+	})
+	return out, nil
 }
+
+// universeWords returns the 64-bit word count covering a universe size.
+func universeWords(size int) int { return (size + 63) / 64 }

@@ -3,84 +3,33 @@ package sim
 import (
 	"ndetect/internal/bitset"
 	"ndetect/internal/circuit"
+	"ndetect/internal/engine"
 	"ndetect/internal/fault"
 )
 
-// The naive simulator recomputes every fault at every vector with scalar
-// full-circuit evaluations. It exists as (a) the reference implementation
-// the bit-parallel path is cross-checked against in tests, and (b) the
-// baseline of the ablation benchmark BenchmarkTSetsPerFault.
+// The naive simulator recomputes every fault at every vector with width-1
+// (scalar) executions of the compiled program — the same instruction
+// stream the word-block interpreter runs, one vector at a time. It exists
+// as (a) the implementation the bit-parallel paths are cross-checked
+// against in tests (together with circuit.Eval, the retained non-engine
+// reference), and (b) the baseline of the ablation benchmark
+// BenchmarkTSetsPerFault.
 
-// evalWithForcedNode evaluates the circuit at vector v with node `forced`
-// overridden to `val` (a downstream observer sees the override; the node's
-// own fanin does not feed it).
-func evalWithForcedNode(c *circuit.Circuit, v uint64, forced int, val bool, vals []bool) {
-	for i, id := range c.Inputs {
-		vals[id] = circuit.VectorBit(v, i, len(c.Inputs))
-	}
-	for _, id := range c.TopoOrder() {
-		if id == forced {
-			vals[id] = val
-			continue
-		}
-		evalNodeScalar(c, c.Node(id), vals)
-	}
-}
-
-func evalNodeScalar(c *circuit.Circuit, n *circuit.Node, vals []bool) {
-	switch n.Kind {
-	case circuit.Input:
-		// already set
-	case circuit.Const0:
-		vals[n.ID] = false
-	case circuit.Const1:
-		vals[n.ID] = true
-	case circuit.Buf, circuit.Branch:
-		vals[n.ID] = vals[n.Fanin[0]]
-	case circuit.Not:
-		vals[n.ID] = !vals[n.Fanin[0]]
-	case circuit.And, circuit.Nand:
-		v := true
-		for _, f := range n.Fanin {
-			v = v && vals[f]
-		}
-		if n.Kind == circuit.Nand {
-			v = !v
-		}
-		vals[n.ID] = v
-	case circuit.Or, circuit.Nor:
-		v := false
-		for _, f := range n.Fanin {
-			v = v || vals[f]
-		}
-		if n.Kind == circuit.Nor {
-			v = !v
-		}
-		vals[n.ID] = v
-	case circuit.Xor, circuit.Xnor:
-		v := false
-		for _, f := range n.Fanin {
-			v = v != vals[f]
-		}
-		if n.Kind == circuit.Xnor {
-			v = !v
-		}
-		vals[n.ID] = v
-	}
-}
-
-// NaiveStuckAtTSet computes T(f) by scalar simulation of every vector.
+// NaiveStuckAtTSet computes T(f) by scalar simulation of every vector:
+// the good machine from the compiled program, the faulty machine from the
+// same program with the fault node's chain skipped and its register forced.
 func NaiveStuckAtTSet(c *circuit.Circuit, f fault.StuckAt) *bitset.Set {
+	prog := engine.CompileAll(c)
 	size := c.VectorSpaceSize()
 	t := bitset.New(size)
-	good := make([]bool, c.NumNodes())
-	bad := make([]bool, c.NumNodes())
+	good := make([]bool, prog.NumRegs)
+	bad := make([]bool, prog.NumRegs)
 	for v := 0; v < size; v++ {
-		c.EvalInto(uint64(v), good)
+		prog.EvalScalar(uint64(v), good)
 		if good[f.Node] == f.Value {
 			continue // not activated
 		}
-		evalWithForcedNode(c, uint64(v), f.Node, f.Value, bad)
+		prog.EvalScalarForced(uint64(v), f.Node, f.Value, bad)
 		for _, o := range c.Outputs {
 			if good[o] != bad[o] {
 				t.Add(v)
@@ -93,16 +42,17 @@ func NaiveStuckAtTSet(c *circuit.Circuit, f fault.StuckAt) *bitset.Set {
 
 // NaiveBridgeTSet computes T(g) for a dominance bridge by scalar simulation.
 func NaiveBridgeTSet(c *circuit.Circuit, g fault.Bridge) *bitset.Set {
+	prog := engine.CompileAll(c)
 	size := c.VectorSpaceSize()
 	t := bitset.New(size)
-	good := make([]bool, c.NumNodes())
-	bad := make([]bool, c.NumNodes())
+	good := make([]bool, prog.NumRegs)
+	bad := make([]bool, prog.NumRegs)
 	for v := 0; v < size; v++ {
-		c.EvalInto(uint64(v), good)
+		prog.EvalScalar(uint64(v), good)
 		if good[g.Dominant] != g.Value || good[g.Victim] == g.Value {
 			continue // not activated
 		}
-		evalWithForcedNode(c, uint64(v), g.Victim, g.Value, bad)
+		prog.EvalScalarForced(uint64(v), g.Victim, g.Value, bad)
 		for _, o := range c.Outputs {
 			if good[o] != bad[o] {
 				t.Add(v)
@@ -113,17 +63,18 @@ func NaiveBridgeTSet(c *circuit.Circuit, g fault.Bridge) *bitset.Set {
 	return t
 }
 
-// NaiveExhaustive computes all node values with scalar evaluation; the
-// ablation baseline for BenchmarkExhaustiveNaive.
+// NaiveExhaustive computes all node values with per-vector scalar
+// evaluation; the ablation baseline for BenchmarkExhaustiveNaive.
 func NaiveExhaustive(c *circuit.Circuit) []*bitset.Set {
+	prog := engine.CompileAll(c)
 	size := c.VectorSpaceSize()
 	out := make([]*bitset.Set, c.NumNodes())
 	for i := range out {
 		out[i] = bitset.New(size)
 	}
-	vals := make([]bool, c.NumNodes())
+	vals := make([]bool, prog.NumRegs)
 	for v := 0; v < size; v++ {
-		c.EvalInto(uint64(v), vals)
+		prog.EvalScalar(uint64(v), vals)
 		for id, b := range vals {
 			if b {
 				out[id].Add(v)

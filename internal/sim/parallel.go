@@ -56,33 +56,49 @@ func ParallelFor(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// shardMinWords is the smallest word-range worth handing to its own
-// goroutine during exhaustive propagation: below it (2^14 vectors) the
-// spawn/synchronization overhead outweighs the simulation itself.
-const shardMinWords = 256
+// Streaming block sizing: a block is the unit of work the engine's word
+// interpreter processes at once. Blocks must be small enough that one
+// block's register file stays cache-resident and enough blocks exist to
+// feed every worker, and large enough to amortize the per-block pass over
+// the instruction list.
+const (
+	// minBlockWords is the smallest block worth its per-block overhead
+	// (2^12 vectors).
+	minBlockWords = 64
+	// maxBlockWords caps the block so NumRegs × maxBlockWords × 8 bytes of
+	// scratch per worker stays cache-friendly (2^14 vectors → 2 KiB per
+	// register).
+	maxBlockWords = 256
+)
 
-// wordShards splits [0, nWords) into at most `workers` contiguous ranges of
-// at least shardMinWords words each. It returns nil when the universe is too
-// small to be worth sharding, signalling the caller to stay serial.
-func wordShards(workers, nWords int) [][2]int {
-	workers = ResolveWorkers(workers)
-	if workers <= 1 || nWords < 2*shardMinWords {
-		return nil
+// blockWordsFor picks the streaming block width for a universe of nWords
+// words: aim for at least four blocks per worker so the work-stealing loop
+// balances, clamped to [minBlockWords, maxBlockWords]. The choice affects
+// only scheduling — block boundaries never change any computed value.
+func blockWordsFor(nWords, workers int) int {
+	w := nWords / (4 * ResolveWorkers(workers))
+	if w < minBlockWords {
+		return minBlockWords
 	}
-	shards := nWords / shardMinWords
-	if shards > workers {
-		shards = workers
+	if w > maxBlockWords {
+		return maxBlockWords
 	}
-	out := make([][2]int, 0, shards)
-	per := nWords / shards
-	lo := 0
-	for s := 0; s < shards; s++ {
-		hi := lo + per
-		if s == shards-1 {
+	return w
+}
+
+// blockRanges splits [0, nWords) into contiguous blocks of blockWords words
+// (the last block may be short). It always returns at least one block.
+func blockRanges(nWords, blockWords int) [][2]int {
+	if nWords <= 0 {
+		nWords = 1
+	}
+	out := make([][2]int, 0, (nWords+blockWords-1)/blockWords)
+	for lo := 0; lo < nWords; lo += blockWords {
+		hi := lo + blockWords
+		if hi > nWords {
 			hi = nWords
 		}
 		out = append(out, [2]int{lo, hi})
-		lo = hi
 	}
 	return out
 }

@@ -7,35 +7,39 @@ import (
 	"ndetect/internal/fault"
 )
 
-func TestWordShardsCoverAndStaySerialWhenSmall(t *testing.T) {
-	if s := wordShards(8, shardMinWords*2-1); s != nil {
-		t.Fatalf("small universe must stay serial, got %d shards", len(s))
-	}
-	if s := wordShards(1, 1<<16); s != nil {
-		t.Fatal("workers=1 must stay serial")
-	}
-	for _, tc := range []struct{ workers, nWords int }{
-		{2, shardMinWords * 2}, {8, 1 << 14}, {3, shardMinWords*2 + 17}, {64, 1 << 10},
+func TestBlockRangesCoverEveryWord(t *testing.T) {
+	for _, tc := range []struct{ nWords, blockWords int }{
+		{1, minBlockWords}, {63, 64}, {64, 64}, {65, 64},
+		{1 << 14, 256}, {minBlockWords*3 + 17, minBlockWords},
 	} {
-		shards := wordShards(tc.workers, tc.nWords)
-		if shards == nil {
-			t.Fatalf("workers=%d nWords=%d: expected shards", tc.workers, tc.nWords)
-		}
-		if len(shards) > tc.workers {
-			t.Fatalf("more shards (%d) than workers (%d)", len(shards), tc.workers)
+		blocks := blockRanges(tc.nWords, tc.blockWords)
+		if len(blocks) == 0 {
+			t.Fatalf("nWords=%d: no blocks", tc.nWords)
 		}
 		at := 0
-		for _, s := range shards {
-			if s[0] != at || s[1] <= s[0] {
-				t.Fatalf("shards not contiguous: %v", shards)
+		for _, b := range blocks {
+			if b[0] != at || b[1] <= b[0] {
+				t.Fatalf("nWords=%d: blocks not contiguous: %v", tc.nWords, blocks)
 			}
-			if s[1]-s[0] < shardMinWords {
-				t.Fatalf("shard below minimum size: %v", shards)
+			if b[1]-b[0] > tc.blockWords {
+				t.Fatalf("nWords=%d: oversized block %v", tc.nWords, b)
 			}
-			at = s[1]
+			at = b[1]
 		}
 		if at != tc.nWords {
-			t.Fatalf("shards cover [0,%d), want [0,%d)", at, tc.nWords)
+			t.Fatalf("blocks cover [0,%d), want [0,%d)", at, tc.nWords)
+		}
+	}
+}
+
+func TestBlockWordsForStaysClamped(t *testing.T) {
+	for _, tc := range []struct{ nWords, workers int }{
+		{1, 1}, {128, 8}, {1 << 14, 1}, {1 << 22, 4}, {1 << 10, 64},
+	} {
+		bw := blockWordsFor(tc.nWords, tc.workers)
+		if bw < minBlockWords || bw > maxBlockWords {
+			t.Fatalf("blockWordsFor(%d, %d) = %d outside [%d, %d]",
+				tc.nWords, tc.workers, bw, minBlockWords, maxBlockWords)
 		}
 	}
 }
@@ -52,29 +56,37 @@ func TestParallelForVisitsEveryIndexOnce(t *testing.T) {
 	}
 }
 
-// TestRunWorkersDeterministic checks the central contract of the parallel
-// engine: the sharded propagation and parallel T-set construction produce
-// byte-identical results for every worker count, on a circuit large enough
-// (16 inputs → 1024 words) that sharding actually engages.
+// TestRunWorkersDeterministic checks the central contract of the streaming
+// engine: block-parallel value materialization and T-set construction
+// produce byte-identical results for every worker count, on a circuit large
+// enough (16 inputs → 1024 words) that block sharding actually engages.
 func TestRunWorkersDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	c := randomCircuit(t, rng, 16, 60)
 
+	r1, err := RunRetained(c, 1)
+	if err != nil {
+		t.Fatalf("RunRetained(1): %v", err)
+	}
 	e1, err := RunWorkers(c, 1)
 	if err != nil {
 		t.Fatalf("RunWorkers(1): %v", err)
 	}
 	for _, workers := range []int{2, 8} {
-		eN, err := RunWorkers(c, workers)
+		rN, err := RunRetained(c, workers)
 		if err != nil {
-			t.Fatalf("RunWorkers(%d): %v", workers, err)
+			t.Fatalf("RunRetained(%d): %v", workers, err)
 		}
-		for id := range e1.Values {
-			if !e1.Values[id].Equal(eN.Values[id]) {
+		for id := range r1.Values {
+			if !r1.Values[id].Equal(rN.Values[id]) {
 				t.Fatalf("workers=%d: node %d values differ from serial", workers, id)
 			}
 		}
 
+		eN, err := RunWorkers(c, workers)
+		if err != nil {
+			t.Fatalf("RunWorkers(%d): %v", workers, err)
+		}
 		faults := fault.CollapseStuckAt(c)
 		t1 := e1.StuckAtTSets(faults)
 		tN := eN.StuckAtTSets(faults)
@@ -95,22 +107,22 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
-// TestRunMatchesRunWorkersSerial pins Run (auto worker count) to the serial
-// reference on the small shared test circuit, where sharding never engages
-// but the fault-level pools do.
+// TestRunMatchesRunWorkersSerial pins RunRetained (auto worker count) to
+// the serial reference on the small shared test circuit, where block
+// sharding never engages but the fault-level pools do.
 func TestRunMatchesRunWorkersSerial(t *testing.T) {
 	c := testCircuit(t)
-	a, err := Run(c)
+	a, err := RunRetained(c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunWorkers(c, 1)
+	b, err := RunRetained(c, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for id := range a.Values {
 		if !a.Values[id].Equal(b.Values[id]) {
-			t.Fatalf("node %d: Run and RunWorkers(1) disagree", id)
+			t.Fatalf("node %d: RunRetained(0) and RunRetained(1) disagree", id)
 		}
 	}
 }

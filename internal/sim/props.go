@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ndetect/internal/bitset"
+	"ndetect/internal/engine"
 )
 
 // PropMask computes, for one line, the set of vectors at which flipping that
@@ -13,62 +14,32 @@ import (
 // both a stuck-at fault at its activation vectors and a dominance bridge at
 // its activation vectors — is detected exactly on (activation ∩ PropMask).
 //
-// The mask is computed with one bit-parallel forward resimulation restricted
-// to the transitive fanout cone of the line.
+// The mask is computed by streaming U in word blocks: per block, the good
+// machine is evaluated once and the line's compiled fanout cone is replayed
+// against the flipped value.
 func (e *Exhaustive) PropMask(id int) *bitset.Set {
-	c := e.Circuit
-	size := e.Values[0].Size()
-
-	inCone := c.TransitiveFanout(id)
-	cone := make([]int, 0, 16)
-	for _, nid := range c.TopoOrder() {
-		if inCone[nid] && nid != id {
-			cone = append(cone, nid)
-		}
-	}
-
-	// Faulty values: shared backing for out-of-cone nodes, fresh sets for
-	// the cone. The flipped source is a fresh set too.
-	faulty := make([]*bitset.Set, len(e.Values))
-	copy(faulty, e.Values)
-	flipped := bitset.New(size)
-	good := e.Values[id].Words()
-	for w := range flipped.Words() {
-		flipped.SetWord(w, ^good[w])
-	}
-	faulty[id] = flipped
-	for _, nid := range cone {
-		faulty[nid] = bitset.New(size)
-	}
-	for _, nid := range cone {
-		evalNodeParallel(c, c.Node(nid), faulty)
-	}
-
-	diff := bitset.New(size)
-	dw := diff.Words()
-	for _, o := range c.Outputs {
-		gw := e.Values[o].Words()
-		fw := faulty[o].Words()
-		for w := range dw {
-			diff.SetWord(w, dw[w]|(gw[w]^fw[w]))
-		}
-	}
-	return diff
+	return e.PropMasks([]int{id})[id]
 }
 
-// PropMasks computes PropMask for a set of lines, caching nothing between
-// lines (each line's cone resimulation is independent). IDs are deduplicated
-// and the result is keyed by node ID. The per-line resimulations — the hot
-// loop of T-set construction — run on e.Workers workers, each writing its
-// own pre-allocated slot, so the result is identical for any worker count.
+// PropMasks computes PropMask for a set of lines. IDs are deduplicated and
+// the result is keyed by node ID. The streaming runs on e.Workers workers —
+// lines fan out for small universes, blocks for large ones — and every
+// schedule writes the same words, so the result is identical for any worker
+// count.
 func (e *Exhaustive) PropMasks(ids []int) map[int]*bitset.Set {
 	uniq := append([]int(nil), ids...)
 	sort.Ints(uniq)
 	uniq = slices.Compact(uniq)
 
+	size := e.Circuit.VectorSpaceSize()
 	sets := make([]*bitset.Set, len(uniq))
-	ParallelFor(e.Workers, len(uniq), func(i int) {
-		sets[i] = e.PropMask(uniq[i])
+	for i := range sets {
+		sets[i] = bitset.New(size)
+	}
+	e.streamLines(uniq, func(li, lo int, prop []uint64, _ *engine.Exec) {
+		for w, pw := range prop {
+			sets[li].SetWord(lo+w, pw)
+		}
 	})
 
 	out := make(map[int]*bitset.Set, len(uniq))

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"ndetect/internal/circuit"
@@ -36,14 +38,14 @@ func randomCircuit(t *testing.T, rng *rand.Rand, inputs, gates int) *circuit.Cir
 	b := circuit.NewBuilder("rand")
 	names := make([]string, 0, inputs+gates)
 	for i := 0; i < inputs; i++ {
-		n := "x" + itoa(i)
+		n := "x" + strconv.Itoa(i)
 		b.Input(n)
 		names = append(names, n)
 	}
 	kinds := []circuit.Kind{circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf}
 	for g := 0; g < gates; g++ {
 		kind := kinds[rng.Intn(len(kinds))]
-		n := "g" + itoa(g)
+		n := "g" + strconv.Itoa(g)
 		if kind == circuit.Not || kind == circuit.Buf {
 			b.Gate(kind, n, names[rng.Intn(len(names))])
 		} else {
@@ -60,7 +62,7 @@ func randomCircuit(t *testing.T, rng *rand.Rand, inputs, gates int) *circuit.Cir
 	// Outputs: the last few gates.
 	nOut := 1 + rng.Intn(3)
 	for i := 0; i < nOut; i++ {
-		b.Output("g" + itoa(gates-1-i))
+		b.Output("g" + strconv.Itoa(gates-1-i))
 	}
 	c, err := b.Build()
 	if err != nil {
@@ -69,30 +71,11 @@ func randomCircuit(t *testing.T, rng *rand.Rand, inputs, gates int) *circuit.Cir
 	return c
 }
 
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var buf []byte
-	for i > 0 {
-		buf = append([]byte{byte('0' + i%10)}, buf...)
-		i /= 10
-	}
-	return string(buf)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func TestRunMatchesScalarEval(t *testing.T) {
 	c := testCircuit(t)
-	e, err := Run(c)
+	e, err := RunRetained(c, 0)
 	if err != nil {
-		t.Fatalf("Run: %v", err)
+		t.Fatalf("RunRetained: %v", err)
 	}
 	for v := 0; v < c.VectorSpaceSize(); v++ {
 		want := c.Eval(uint64(v))
@@ -108,9 +91,9 @@ func TestRunMatchesScalarEvalRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 20; trial++ {
 		c := randomCircuit(t, rng, 3+rng.Intn(6), 5+rng.Intn(25))
-		e, err := Run(c)
+		e, err := RunRetained(c, 0)
 		if err != nil {
-			t.Fatalf("Run: %v", err)
+			t.Fatalf("RunRetained: %v", err)
 		}
 		for v := 0; v < c.VectorSpaceSize(); v++ {
 			want := c.Eval(uint64(v))
@@ -125,9 +108,9 @@ func TestRunMatchesScalarEvalRandom(t *testing.T) {
 
 func TestRunRejectsWideCircuits(t *testing.T) {
 	b := circuit.NewBuilder("wide")
-	names := make([]string, 26)
+	names := make([]string, MaxInputs+2)
 	for i := range names {
-		names[i] = "x" + itoa(i)
+		names[i] = "x" + strconv.Itoa(i)
 		b.Input(names[i])
 	}
 	b.Gate(circuit.And, "g", names...)
@@ -137,19 +120,7 @@ func TestRunRejectsWideCircuits(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	if _, err := Run(c); err == nil {
-		t.Fatal("Run accepted a 26-input circuit")
-	}
-}
-
-func TestAlternatingPatterns(t *testing.T) {
-	for shift := uint(0); shift < 6; shift++ {
-		pat := alternating(shift)
-		for v := uint(0); v < 64; v++ {
-			want := (v>>shift)&1 == 1
-			if got := pat&(1<<v) != 0; got != want {
-				t.Fatalf("alternating(%d) bit %d = %v, want %v", shift, v, got, want)
-			}
-		}
+		t.Fatalf("Run accepted a %d-input circuit", MaxInputs+2)
 	}
 }
 
@@ -260,7 +231,7 @@ func TestPropMaskOfUnobservableNode(t *testing.T) {
 
 func TestNaiveExhaustiveMatchesRun(t *testing.T) {
 	c := testCircuit(t)
-	e, _ := Run(c)
+	e, _ := RunRetained(c, 0)
 	naive := NaiveExhaustive(c)
 	for id := range c.Nodes {
 		if !e.Values[id].Equal(naive[id]) {
@@ -271,15 +242,200 @@ func TestNaiveExhaustiveMatchesRun(t *testing.T) {
 
 func TestOutputVectors(t *testing.T) {
 	c := testCircuit(t)
-	e, _ := Run(c)
-	outs := e.OutputVectors()
-	if len(outs) != 2 {
-		t.Fatalf("outputs = %d", len(outs))
-	}
-	for v := 0; v < 16; v++ {
-		want := c.OutputsOf(c.Eval(uint64(v)))
-		if outs[0].Contains(v) != want[0] || outs[1].Contains(v) != want[1] {
-			t.Fatalf("OutputVectors wrong at %d", v)
+	// Both the retained fast path and the streaming output-directed path
+	// must agree with the scalar reference.
+	retained, _ := RunRetained(c, 0)
+	streaming, _ := Run(c)
+	for name, e := range map[string]*Exhaustive{"retained": retained, "streaming": streaming} {
+		outs, err := e.OutputVectors()
+		if err != nil {
+			t.Fatalf("%s: OutputVectors: %v", name, err)
 		}
+		if len(outs) != 2 {
+			t.Fatalf("%s: outputs = %d", name, len(outs))
+		}
+		for v := 0; v < 16; v++ {
+			want := c.OutputsOf(c.Eval(uint64(v)))
+			if outs[0].Contains(v) != want[0] || outs[1].Contains(v) != want[1] {
+				t.Fatalf("%s: OutputVectors wrong at %d", name, v)
+			}
+		}
+	}
+}
+
+// ---- Engine acceptance tests -------------------------------------------
+//
+// `go test -run Engine -v` exercises the streaming-kernel contract: all
+// three compiled widths agree with the retained naive reference, the
+// streaming path materializes no per-node universe bitsets, and circuits
+// wider than the old 24-input ceiling pass.
+
+// TestEngineModesAgreeRandom is the fuzz cross-check harness: random
+// circuits run through the compiled width-1 (scalar), word-block, and
+// dual-rail modes, asserting exact agreement with the retained naive
+// references (circuit.Eval for two-valued, SimulateTV for three-valued).
+func TestEngineModesAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		c := randomCircuit(t, rng, 3+rng.Intn(6), 5+rng.Intn(25))
+		e, err := RunWorkers(c, 1+rng.Intn(4))
+		if err != nil {
+			t.Fatalf("trial %d RunWorkers: %v", trial, err)
+		}
+		faults := fault.AllStuckAt(c)
+		word := e.StuckAtTSets(faults) // word-block streaming
+
+		for fi, f := range faults {
+			scalar := NaiveStuckAtTSet(c, f) // compiled width-1
+			if !word[fi].Equal(scalar) {
+				t.Fatalf("trial %d fault %s: word-block %s, width-1 %s",
+					trial, f.Name(c), word[fi], scalar)
+			}
+			// Dual-rail mode on fully specified patterns must agree with
+			// T-set membership vector by vector.
+			fc := NewFaultCone(c, f.Node)
+			for base := 0; base < c.VectorSpaceSize(); base += 64 {
+				var patterns [][]TV
+				for v := base; v < c.VectorSpaceSize() && v < base+64; v++ {
+					patterns = append(patterns, FullTest(uint64(v), c.NumInputs()))
+				}
+				for j, det := range fc.DetectsTVBatch(patterns, f.Value) {
+					if det != word[fi].Contains(base+j) {
+						t.Fatalf("trial %d fault %s v=%d: dual-rail %v, T-set %v",
+							trial, f.Name(c), base+j, det, word[fi].Contains(base+j))
+					}
+				}
+			}
+		}
+
+		// Width-1 good machine vs the retained scalar reference.
+		naive := NaiveExhaustive(c)
+		for v := 0; v < c.VectorSpaceSize(); v++ {
+			want := c.Eval(uint64(v))
+			for id := range c.Nodes {
+				if naive[id].Contains(v) != want[id] {
+					t.Fatalf("trial %d node %d v=%d: width-1 %v, reference %v",
+						trial, id, v, naive[id].Contains(v), want[id])
+				}
+			}
+		}
+		if len(faults) > 0 {
+			f := faults[rng.Intn(len(faults))]
+			fc := NewFaultCone(c, f.Node)
+			for iter := 0; iter < 20; iter++ {
+				ti := uint64(rng.Intn(c.VectorSpaceSize()))
+				tj := uint64(rng.Intn(c.VectorSpaceSize()))
+				p := CommonTest(ti, tj, c.NumInputs())
+				if got, want := fc.DetectsTV(p, f.Value), DetectsTV(c, p, f); got != want {
+					t.Fatalf("trial %d fault %s t_%d,%d: dual-rail %v, reference %v",
+						trial, f.Name(c), ti, tj, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineStreamingAllocatesNoUniverse pins the memory contract of the
+// tentpole: T-set construction over a 2^20-vector universe must allocate
+// only the per-fault result bitsets plus block-sized scratch — far less
+// than one per-node universe bitset per node (the old sim.Run allocated
+// NumNodes of them before any T-set work started).
+func TestEngineStreamingAllocatesNoUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCircuit(t, rng, 20, 40)
+	e, err := RunWorkers(c, 1)
+	if err != nil {
+		t.Fatalf("RunWorkers: %v", err)
+	}
+	faults := fault.AllStuckAt(c)[:2]
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tsets := e.StuckAtTSets(faults)
+	runtime.ReadMemStats(&after)
+	if len(tsets) != 2 || tsets[0].Size() != c.VectorSpaceSize() {
+		t.Fatal("unexpected T-set shape")
+	}
+
+	allocated := int64(after.TotalAlloc - before.TotalAlloc)
+	universeBytes := int64(c.VectorSpaceSize() / 8)
+	// Budget: well under one materialized per-node pass, which would need
+	// NumNodes × universeBytes before any T-set work began. The bound is
+	// relative (a third of that) rather than results+scratch because
+	// sync.Pool deliberately drops items under the race detector, inflating
+	// scratch reallocation.
+	budget := int64(c.NumNodes()) * universeBytes / 3
+	if allocated > budget {
+		t.Fatalf("streaming T-sets allocated %d bytes, budget %d (universe bitset = %d bytes, %d nodes)",
+			allocated, budget, universeBytes, c.NumNodes())
+	}
+	t.Logf("streaming allocated %d bytes for 2 T-sets over 2^20 vectors (one per-node universe pass would be ≥ %d bytes)",
+		allocated, int64(c.NumNodes())*universeBytes)
+}
+
+// TestEngineWideCircuit runs a 28-input circuit through the streaming path
+// — the old materializing implementation refused anything over 24 inputs.
+// The circuit is AND(OR(x0..x13), OR(x14..x27)), whose T-sets have closed
+// forms: the root's stuck-at-0 set is the ON-set of size (2^14 − 1)^2.
+func TestEngineWideCircuit(t *testing.T) {
+	b := circuit.NewBuilder("wide28")
+	half := make([][]string, 2)
+	for i := 0; i < 28; i++ {
+		n := "x" + strconv.Itoa(i)
+		b.Input(n)
+		half[i/14] = append(half[i/14], n)
+	}
+	b.Gate(circuit.Or, "l", half[0]...)
+	b.Gate(circuit.Or, "r", half[1]...)
+	b.Gate(circuit.And, "root", "l", "r")
+	b.Output("root")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if c.NumInputs() != 28 {
+		t.Fatalf("inputs = %d", c.NumInputs())
+	}
+
+	e, err := RunWorkers(c, 0)
+	if err != nil {
+		t.Fatalf("RunWorkers refused a 28-input circuit: %v", err)
+	}
+	root, _ := c.NodeByName("root")
+	ts := e.StuckAtTSets([]fault.StuckAt{
+		{Node: root.ID, Value: false},
+		{Node: root.ID, Value: true},
+	})
+
+	on := (1<<14 - 1) * (1<<14 - 1)
+	if got := ts[0].Count(); got != on {
+		t.Fatalf("|T(root/0)| = %d, want %d", got, on)
+	}
+	if got := ts[1].Count(); got != c.VectorSpaceSize()-on {
+		t.Fatalf("|T(root/1)| = %d, want %d", got, c.VectorSpaceSize()-on)
+	}
+	all := c.VectorSpaceSize() - 1
+	if !ts[0].Contains(all) || ts[0].Contains(0) || !ts[1].Contains(0) {
+		t.Fatal("T-set membership wrong at the corner vectors")
+	}
+}
+
+// TestEngineBudgetCheck pins the explicit memory-budget guard that made
+// raising MaxInputs safe.
+func TestEngineBudgetCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := randomCircuit(t, rng, 20, 10)
+	old := MemoryBudget
+	defer func() { MemoryBudget = old }()
+	MemoryBudget = 1 << 20 // 1 MiB: a 2^20-vector universe set is 128 KiB
+	if err := CheckResultBudget(c, 4); err != nil {
+		t.Fatalf("4 sets × 128 KiB must fit a 1 MiB budget: %v", err)
+	}
+	if err := CheckResultBudget(c, 100); err == nil {
+		t.Fatal("100 sets × 128 KiB passed a 1 MiB budget")
+	}
+	if _, err := RunRetained(c, 1); err == nil {
+		t.Fatal("RunRetained materialized past the budget")
 	}
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"sync"
+
+	"ndetect/internal/engine"
+)
+
+// The streaming kernel: every exhaustive analysis — prop masks, stuck-at
+// T-sets, bridge T-sets — reduces to "for every requested line, the vectors
+// at which flipping that line reaches an output", filtered by a per-fault
+// activation condition. streamLines computes exactly that, block by block:
+// the good machine is evaluated over a cache-sized word block of U, each
+// line's compiled fanout cone is replayed against it, and the caller
+// receives the block's propagation words together with the good-value block
+// for activation masking. Only per-fault result bitsets ever span U.
+
+// smallUniverseWords is the cutoff below which the whole universe is one
+// block: the good machine is evaluated once and the parallelism comes from
+// fanning the lines out instead (matching the pre-engine fault-level
+// pools, which is what the benchmark-suite circuits exercise).
+const smallUniverseWords = 2 * minBlockWords
+
+// lineScratch is one worker's reusable cone state for the block-parallel
+// path (the good-machine Exec is pooled by streamBlocks).
+type lineScratch struct {
+	cx   *engine.ConeExec
+	prop []uint64
+}
+
+// streamLines evaluates the good machine over U in word blocks and, for
+// every requested line, replays the line-flipped fanout cone per block.
+// emit(li, lo, prop, x) is called once per (line, block) pair with the
+// block's propagation words (prop[w] bit b = flipping lines[li] changes
+// some output at vector 64·(lo+w)+b) and the good-machine block x for
+// activation masking. Callers must write only into word range
+// [lo, lo+len(prop)) of their results; emit may run concurrently for
+// different lines or blocks, so the schedule is byte-identical for every
+// worker count.
+func (e *Exhaustive) streamLines(lines []int, emit func(li, lo int, prop []uint64, x *engine.Exec)) {
+	if len(lines) == 0 {
+		return
+	}
+	nWords := universeWords(e.Circuit.VectorSpaceSize())
+	cps := make([]*engine.ConeProgram, len(lines))
+	for i, id := range lines {
+		cps[i] = e.coneFor(id)
+	}
+
+	if nWords <= smallUniverseWords {
+		// One shared good block, lines fan out across the workers, each
+		// reusing pooled cone scratch.
+		x := engine.NewExec(e.prog, nWords)
+		x.Eval(0, nWords)
+		var pool sync.Pool
+		ParallelFor(e.Workers, len(lines), func(li int) {
+			s, _ := pool.Get().(*lineScratch)
+			if s == nil {
+				s = &lineScratch{cx: engine.NewConeExec(nWords), prop: make([]uint64, nWords)}
+			}
+			s.cx.Run(cps[li], x)
+			clear(s.prop)
+			s.cx.OrProp(cps[li], s.prop, x)
+			emit(li, 0, s.prop, x)
+			pool.Put(s)
+		})
+		return
+	}
+
+	// Large universe: blocks fan out, each worker streaming whole blocks
+	// through every line with its own scratch register files.
+	blockWords := blockWordsFor(nWords, e.Workers)
+	var pool sync.Pool
+	streamBlocks(e.prog, e.Workers, nWords, blockWords, func(lo, hi int, x *engine.Exec) {
+		s, _ := pool.Get().(*lineScratch)
+		if s == nil {
+			s = &lineScratch{
+				cx:   engine.NewConeExec(min(blockWords, nWords)),
+				prop: make([]uint64, blockWords),
+			}
+		}
+		for li := range lines {
+			s.cx.Run(cps[li], x)
+			prop := s.prop[:hi-lo]
+			clear(prop)
+			s.cx.OrProp(cps[li], prop, x)
+			emit(li, lo, prop, x)
+		}
+		pool.Put(s)
+	})
+}

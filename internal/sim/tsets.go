@@ -1,36 +1,65 @@
 package sim
 
 import (
+	"slices"
+	"sort"
+
 	"ndetect/internal/bitset"
+	"ndetect/internal/engine"
 	"ndetect/internal/fault"
 )
+
+// groupByLine maps a per-fault line list onto its sorted deduplicated line
+// set plus, per line, the indices of the faults on it — so each line's
+// fanout cone is replayed once per block no matter how many faults share it.
+func groupByLine(lineOf []int) (lines []int, faultsOf [][]int) {
+	lines = append([]int(nil), lineOf...)
+	sort.Ints(lines)
+	lines = slices.Compact(lines)
+	at := make(map[int]int, len(lines))
+	for i, id := range lines {
+		at[id] = i
+	}
+	faultsOf = make([][]int, len(lines))
+	for fi, id := range lineOf {
+		li := at[id]
+		faultsOf[li] = append(faultsOf[li], fi)
+	}
+	return lines, faultsOf
+}
 
 // StuckAtTSets computes the exhaustive detection set T(f) ⊆ U of every given
 // stuck-at fault: the vectors at which the line carries the opposite of the
 // stuck value (activation) and the flip is observable at an output
-// (propagation).
+// (propagation). U is streamed in word blocks; only the per-fault result
+// bitsets are materialized.
 func (e *Exhaustive) StuckAtTSets(faults []fault.StuckAt) []*bitset.Set {
-	ids := make([]int, len(faults))
+	lineOf := make([]int, len(faults))
 	for i, f := range faults {
-		ids[i] = f.Node
+		lineOf[i] = f.Node
 	}
-	props := e.PropMasks(ids)
+	lines, faultsOf := groupByLine(lineOf)
 
+	size := e.Circuit.VectorSpaceSize()
 	out := make([]*bitset.Set, len(faults))
-	ParallelFor(e.Workers, len(faults), func(i int) {
-		f := faults[i]
-		t := props[f.Node].Clone()
-		tw := t.Words()
-		gw := e.Values[f.Node].Words()
-		for w := range tw {
-			if f.Value {
+	for i := range out {
+		out[i] = bitset.New(size)
+	}
+	e.streamLines(lines, func(li, lo int, prop []uint64, x *engine.Exec) {
+		good := x.Node(lines[li])
+		for _, fi := range faultsOf[li] {
+			t := out[fi]
+			if faults[fi].Value {
 				// stuck-at-1: activated where the good value is 0.
-				t.SetWord(w, tw[w]&^gw[w])
+				for w, pw := range prop {
+					t.SetWord(lo+w, pw&^good[w])
+				}
 			} else {
-				t.SetWord(w, tw[w]&gw[w])
+				for w, pw := range prop {
+					t.SetWord(lo+w, pw&good[w])
+				}
 			}
 		}
-		out[i] = t
 	})
 	return out
 }
@@ -39,29 +68,33 @@ func (e *Exhaustive) StuckAtTSets(faults []fault.StuckAt) []*bitset.Set {
 // fault: T = {v : dominant carries Value, victim carries ¬Value, and
 // flipping the victim propagates}.
 func (e *Exhaustive) BridgeTSets(bridges []fault.Bridge) []*bitset.Set {
-	ids := make([]int, len(bridges))
+	lineOf := make([]int, len(bridges))
 	for i, g := range bridges {
-		ids[i] = g.Victim
+		lineOf[i] = g.Victim
 	}
-	props := e.PropMasks(ids)
+	lines, faultsOf := groupByLine(lineOf)
 
+	size := e.Circuit.VectorSpaceSize()
 	out := make([]*bitset.Set, len(bridges))
-	ParallelFor(e.Workers, len(bridges), func(i int) {
-		g := bridges[i]
-		t := props[g.Victim].Clone()
-		tw := t.Words()
-		dw := e.Values[g.Dominant].Words()
-		vw := e.Values[g.Victim].Words()
-		for w := range tw {
-			var act uint64
+	for i := range out {
+		out[i] = bitset.New(size)
+	}
+	e.streamLines(lines, func(li, lo int, prop []uint64, x *engine.Exec) {
+		vw := x.Node(lines[li])
+		for _, gi := range faultsOf[li] {
+			g := bridges[gi]
+			t := out[gi]
+			dw := x.Node(g.Dominant)
 			if g.Value {
-				act = dw[w] &^ vw[w] // dom=1, victim=0
+				for w, pw := range prop {
+					t.SetWord(lo+w, pw&(dw[w]&^vw[w])) // dom=1, victim=0
+				}
 			} else {
-				act = ^dw[w] & vw[w] // dom=0, victim=1
+				for w, pw := range prop {
+					t.SetWord(lo+w, pw&(^dw[w]&vw[w])) // dom=0, victim=1
+				}
 			}
-			t.SetWord(w, tw[w]&act)
 		}
-		out[i] = t
 	})
 	return out
 }

@@ -1,12 +1,9 @@
 package sim
 
-import (
-	"ndetect/internal/circuit"
-)
-
 // Dual-rail bit-parallel 3-valued simulation: up to 64 partial patterns are
-// simulated at once. Each node carries two words (p1, p0); bit j of p1/p0
-// says pattern j's value can be 1/0. Definite 1 = (1,0), definite 0 =
+// simulated at once through the compiled program's dual-rail interpreter
+// (engine.ExecTV). Each register carries two words (p1, p0); bit j of
+// p1/p0 says pattern j's value can be 1/0. Definite 1 = (1,0), definite 0 =
 // (0,1), X = (1,1). The Kleene operators become word operations:
 //
 //	NOT: swap     AND: p1 = a1&b1, p0 = a0|b0     OR: p1 = a1|b1, p0 = a0&b0
@@ -31,8 +28,9 @@ func (fc *FaultCone) DetectsTVBatch(patterns [][]TV, stuckVal bool) []bool {
 		return out
 	}
 	c := fc.c
+	prog := fc.prog
 
-	n := c.NumNodes()
+	n := prog.NumRegs // register r holds node r (CompileAll)
 	g1 := make([]uint64, n)
 	g0 := make([]uint64, n)
 	for i, id := range c.Inputs {
@@ -53,9 +51,7 @@ func (fc *FaultCone) DetectsTVBatch(patterns [][]TV, stuckVal bool) []bool {
 
 	// Good machine on the site's fanin cone; early exit on patterns where
 	// the site is not definitely excited.
-	for _, id := range fc.tfiOrder {
-		evalNodeTVDual(c, c.Node(id), g1, g0)
-	}
+	prog.ExecTV(fc.tfiOrder, g1, g0)
 	var excited uint64
 	if stuckVal {
 		excited = g0[fc.site] &^ g1[fc.site] // good site definitely 0, fault s-a-1
@@ -66,11 +62,7 @@ func (fc *FaultCone) DetectsTVBatch(patterns [][]TV, stuckVal bool) []bool {
 		return out
 	}
 
-	for _, id := range c.TopoOrder() {
-		if !fc.tfi[id] {
-			evalNodeTVDual(c, c.Node(id), g1, g0)
-		}
-	}
+	prog.ExecTV(fc.rest, g1, g0)
 
 	b1 := make([]uint64, n)
 	b0 := make([]uint64, n)
@@ -81,9 +73,7 @@ func (fc *FaultCone) DetectsTVBatch(patterns [][]TV, stuckVal bool) []bool {
 	} else {
 		b1[fc.site], b0[fc.site] = 0, ^uint64(0)
 	}
-	for _, id := range fc.order {
-		evalNodeTVDual(c, c.Node(id), b1, b0)
-	}
+	prog.ExecTV(fc.order, b1, b0)
 
 	var detect uint64
 	for _, oi := range fc.outputs {
@@ -99,55 +89,4 @@ func (fc *FaultCone) DetectsTVBatch(patterns [][]TV, stuckVal bool) []bool {
 		out[j] = detect&(1<<uint(j)) != 0
 	}
 	return out
-}
-
-// evalNodeTVDual evaluates one node in dual-rail encoding.
-func evalNodeTVDual(c *circuit.Circuit, n *circuit.Node, p1, p0 []uint64) {
-	switch n.Kind {
-	case circuit.Input:
-		// assigned by the caller
-	case circuit.Const0:
-		p1[n.ID], p0[n.ID] = 0, ^uint64(0)
-	case circuit.Const1:
-		p1[n.ID], p0[n.ID] = ^uint64(0), 0
-	case circuit.Buf, circuit.Branch:
-		f := n.Fanin[0]
-		p1[n.ID], p0[n.ID] = p1[f], p0[f]
-	case circuit.Not:
-		f := n.Fanin[0]
-		p1[n.ID], p0[n.ID] = p0[f], p1[f]
-	case circuit.And, circuit.Nand:
-		a1, a0 := ^uint64(0), uint64(0)
-		for _, f := range n.Fanin {
-			a1 &= p1[f]
-			a0 |= p0[f]
-		}
-		if n.Kind == circuit.Nand {
-			a1, a0 = a0, a1
-		}
-		p1[n.ID], p0[n.ID] = a1, a0
-	case circuit.Or, circuit.Nor:
-		a1, a0 := uint64(0), ^uint64(0)
-		for _, f := range n.Fanin {
-			a1 |= p1[f]
-			a0 &= p0[f]
-		}
-		if n.Kind == circuit.Nor {
-			a1, a0 = a0, a1
-		}
-		p1[n.ID], p0[n.ID] = a1, a0
-	case circuit.Xor, circuit.Xnor:
-		// Fold pairwise: out1 = a1·b0 + a0·b1, out0 = a1·b1 + a0·b0,
-		// starting from definite 0.
-		a1, a0 := uint64(0), ^uint64(0)
-		for _, f := range n.Fanin {
-			n1 := (a1 & p0[f]) | (a0 & p1[f])
-			n0 := (a1 & p1[f]) | (a0 & p0[f])
-			a1, a0 = n1, n0
-		}
-		if n.Kind == circuit.Xnor {
-			a1, a0 = a0, a1
-		}
-		p1[n.ID], p0[n.ID] = a1, a0
-	}
 }

@@ -2,32 +2,61 @@ package sim
 
 import (
 	"ndetect/internal/circuit"
+	"ndetect/internal/engine"
 )
 
 // FaultCone is the precomputed transitive fanout cone of a fault site, used
 // to run many 3-valued fault simulations of the same fault cheaply: the
 // faulty machine only ever differs from the good machine inside the cone,
 // so after one good-machine simulation the faulty pass re-evaluates only
-// the cone and compares only the outputs the cone reaches.
+// the cone and compares only the outputs the cone reaches. All passes run
+// the compiled dual-rail program (engine.ExecTV) over topological slices of
+// the node set.
 type FaultCone struct {
 	c        *circuit.Circuit
+	prog     *engine.Program
 	site     int
 	order    []int // fanout cone nodes (excluding the site) in topo order
 	outputs  []int // primary output positions reachable from the site
 	tfiOrder []int // fanin cone of the site (including it) in topo order
-	tfi      []bool
+	rest     []int // nodes outside the fanin cone, in topo order
 }
 
-// NewFaultCone precomputes the fanout and fanin cones of the given node.
+// Compiled is a circuit's shared analysis program: one lowering serves any
+// number of FaultCones, so callers building a cone per fault (Definition
+// 2's checker) compile the circuit once instead of once per fault.
+type Compiled struct {
+	c    *circuit.Circuit
+	prog *engine.Program
+}
+
+// CompileCircuit lowers the circuit once for 3-valued fault-cone analysis.
+func CompileCircuit(c *circuit.Circuit) *Compiled {
+	return &Compiled{c: c, prog: engine.CompileAll(c)}
+}
+
+// NewFaultCone compiles the circuit and precomputes the fanout and fanin
+// cones of the given node. Callers creating cones for many faults of the
+// same circuit should go through CompileCircuit.
 func NewFaultCone(c *circuit.Circuit, site int) *FaultCone {
+	return CompileCircuit(c).NewFaultCone(site)
+}
+
+// NewFaultCone precomputes the fanout and fanin cones of the given node
+// against the shared compiled program.
+func (p *Compiled) NewFaultCone(site int) *FaultCone {
+	c := p.c
 	inCone := c.TransitiveFanout(site)
-	fc := &FaultCone{c: c, site: site, tfi: c.TransitiveFanin(site)}
+	tfi := c.TransitiveFanin(site)
+	fc := &FaultCone{c: c, prog: p.prog, site: site}
 	for _, id := range c.TopoOrder() {
 		if inCone[id] && id != site {
 			fc.order = append(fc.order, id)
 		}
-		if fc.tfi[id] {
+		if tfi[id] {
 			fc.tfiOrder = append(fc.tfiOrder, id)
+		} else {
+			fc.rest = append(fc.rest, id)
 		}
 	}
 	for i, o := range c.Outputs {
@@ -46,92 +75,13 @@ func NewFaultCone(c *circuit.Circuit, site int) *FaultCone {
 // the faulty machine refines the good one whenever the site's good value is
 // X or equals the stuck value, so definite outputs cannot change) — and
 // only then completed, with the faulty pass re-simulating just the fanout
-// cone.
+// cone. It is DetectsTVBatch at batch size one.
 func (fc *FaultCone) DetectsTV(pattern []TV, stuckVal bool) bool {
+	if len(pattern) != fc.c.NumInputs() {
+		panic("sim: FaultCone pattern length mismatch")
+	}
 	if len(fc.outputs) == 0 {
 		return false // fault site cannot reach any output
 	}
-	c := fc.c
-	if len(pattern) != c.NumInputs() {
-		panic("sim: FaultCone pattern length mismatch")
-	}
-	fv := Zero
-	if stuckVal {
-		fv = One
-	}
-
-	good := make([]TV, c.NumNodes())
-	for i, id := range c.Inputs {
-		good[id] = pattern[i]
-	}
-	for _, id := range fc.tfiOrder {
-		evalNodeTV(c, c.Node(id), good)
-	}
-	if good[fc.site] != tvNot(fv) {
-		return false
-	}
-
-	// Complete the good machine on the rest of the circuit.
-	for _, id := range c.TopoOrder() {
-		if !fc.tfi[id] {
-			evalNodeTV(c, c.Node(id), good)
-		}
-	}
-
-	bad := make([]TV, len(good))
-	copy(bad, good)
-	bad[fc.site] = fv
-	for _, id := range fc.order {
-		evalNodeTV(c, c.Node(id), bad)
-	}
-	for _, oi := range fc.outputs {
-		o := c.Outputs[oi]
-		if good[o] != X && bad[o] != X && good[o] != bad[o] {
-			return true
-		}
-	}
-	return false
-}
-
-// evalNodeTV evaluates one node in 3-valued logic from its fanin values.
-func evalNodeTV(c *circuit.Circuit, n *circuit.Node, vals []TV) {
-	switch n.Kind {
-	case circuit.Input:
-		// inputs are assigned by the caller
-	case circuit.Const0:
-		vals[n.ID] = Zero
-	case circuit.Const1:
-		vals[n.ID] = One
-	case circuit.Buf, circuit.Branch:
-		vals[n.ID] = vals[n.Fanin[0]]
-	case circuit.Not:
-		vals[n.ID] = tvNot(vals[n.Fanin[0]])
-	case circuit.And, circuit.Nand:
-		v := One
-		for _, f := range n.Fanin {
-			v = tvAnd(v, vals[f])
-		}
-		if n.Kind == circuit.Nand {
-			v = tvNot(v)
-		}
-		vals[n.ID] = v
-	case circuit.Or, circuit.Nor:
-		v := Zero
-		for _, f := range n.Fanin {
-			v = tvOr(v, vals[f])
-		}
-		if n.Kind == circuit.Nor {
-			v = tvNot(v)
-		}
-		vals[n.ID] = v
-	case circuit.Xor, circuit.Xnor:
-		v := Zero
-		for _, f := range n.Fanin {
-			v = tvXor(v, vals[f])
-		}
-		if n.Kind == circuit.Xnor {
-			v = tvNot(v)
-		}
-		vals[n.ID] = v
-	}
+	return fc.DetectsTVBatch([][]TV{pattern}, stuckVal)[0]
 }

@@ -38,9 +38,16 @@ import (
 	"ndetect/internal/kiss"
 	core "ndetect/internal/ndetect"
 	"ndetect/internal/partition"
+	"ndetect/internal/sim"
 	"ndetect/internal/synth"
 	"ndetect/internal/testgen"
 )
+
+// MaxExhaustiveInputs is the widest circuit Analyze accepts: the streaming
+// engine keeps only block-sized scratch plus the per-fault T-sets, so the
+// bound is set by result memory and simulation time, not by materialized
+// per-node universes. Wider circuits go through AnalyzePartitioned.
+const MaxExhaustiveInputs = sim.MaxInputs
 
 // Re-exported core types. The implementation lives in internal packages;
 // these aliases are the supported public surface.
@@ -150,8 +157,10 @@ func Synthesize(m *STG, opts SynthOptions) (*SynthResult, error) {
 // Analyze builds the paper's experimental setup for a circuit: F = collapsed
 // stuck-at faults, G = detectable non-feedback four-way bridging faults
 // between outputs of multi-input gates, with all T-sets computed by
-// exhaustive bit-parallel simulation (one worker per CPU; see
-// AnalyzeParallel).
+// streaming the exhaustive input space in word blocks through the compiled
+// circuit (one worker per CPU; see AnalyzeParallel). Circuits are accepted
+// up to MaxExhaustiveInputs inputs, subject to the result-memory budget
+// check described in DESIGN.md §9.
 func Analyze(c *Circuit) (*CircuitUniverse, error) { return core.FromCircuit(c) }
 
 // AnalyzeParallel is Analyze with an explicit worker count for the

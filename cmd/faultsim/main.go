@@ -32,10 +32,10 @@ import (
 
 func main() {
 	var (
-		netF    = flag.String("netlist", "", "netlist file")
-		formatF = flag.String("format", "net", `syntax of the -netlist file: "net" or "bench" (ISCAS .bench)`)
-		benchF  = flag.String("bench", "", "embedded benchmark name")
-		testsF  = flag.String("tests", "", "test set file (decimal vectors; default: exhaustive)")
+		netF     = flag.String("netlist", "", "netlist file")
+		formatF  = flag.String("format", "net", `syntax of the -netlist file: "net" or "bench" (ISCAS .bench)`)
+		benchF   = flag.String("bench", "", "embedded benchmark name")
+		testsF   = flag.String("tests", "", "test set file (decimal vectors; default: exhaustive)")
 		verifyF  = flag.Int("verify", 0, "verify the test set is an N-detection test set")
 		def2F    = flag.Bool("def2", false, "also count detections under Definition 2")
 		faultsF  = flag.Bool("faults", false, "per-fault detail")

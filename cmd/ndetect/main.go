@@ -23,9 +23,14 @@
 // streaming analysis shows per-fault result bitsets, never per-node
 // universes).
 //
+// -json swaps the text report for the machine-readable analysis document
+// (internal/report.Analysis) — the same encoder the ndetectd server uses,
+// so CLI and daemon outputs diff clean for the same circuit and options.
+//
 // Examples:
 //
 //	ndetect -bench bbara
+//	ndetect -bench bbtas -json
 //	ndetect -bench dvram -hist 100
 //	ndetect -netlist adder.net -avg -k 500
 //	ndetect -netlist c880.bench -format bench -partition 16
@@ -46,6 +51,7 @@ import (
 
 	"ndetect/internal/bench"
 	"ndetect/internal/circuit"
+	"ndetect/internal/exp"
 	"ndetect/internal/kiss"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/partition"
@@ -68,6 +74,8 @@ func main() {
 		histF    = flag.Int("hist", 0, "print the nmin histogram from this cutoff (0 = off)")
 		worstF   = flag.Int("worst", 10, "show the hardest N untargeted faults")
 		partF    = flag.Int("partition", 0, "partition into ≤N-input cones before analysis (0 = off)")
+		jsonF    = flag.Bool("json", false, "emit the machine-readable analysis document instead of text (byte-identical to the ndetectd server's result for the same circuit and options)")
+		ge11F    = flag.Int("ge11", 0, "with -json -avg: cap the analysed nmin subset by even sampling (0 = no cap; DESIGN.md §4)")
 		twoLevel = flag.Bool("two-level", false, "use two-level PLA synthesis for -kiss2/-bench")
 		workersF = flag.Int("workers", 0, "worker pool size for simulation, T-sets and -avg (0 = one per CPU, 1 = serial)")
 		cpuprofF = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
@@ -123,6 +131,34 @@ func main() {
 	c, err := loadCircuit(*benchF, *netF, *kissF, *formatF, *twoLevel)
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonF {
+		// One shared driver behind -json and the ndetectd server: same
+		// circuit + options → byte-identical documents (DESIGN.md §10).
+		req := exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis, Workers: *workersF}
+		switch {
+		case *partF > 0:
+			req.Kind = exp.PartitionedAnalysis
+			req.MaxInputs = *partF
+		case *avgF:
+			req.Kind = exp.AverageAnalysis
+			req.NMax = *nmaxF
+			req.K = *kF
+			req.Seed = *seedF
+			req.Ge11Limit = *ge11F
+			if *def2F {
+				req.Definition = 2
+			}
+		}
+		doc, err := exp.AnalyzeCircuit(c, req)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := os.Stdout.Write(doc.Encode()); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *partF > 0 {

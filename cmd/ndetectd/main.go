@@ -1,0 +1,78 @@
+// Command ndetectd is the analysis server: a long-lived daemon that
+// accepts circuits over HTTP, runs the worst-case, average-case or
+// partitioned analysis, deduplicates identical in-flight requests, and
+// caches results under a canonical content address (DESIGN.md §10).
+//
+// Because every analysis is a pure function of (circuit, options, seed),
+// a cached response is byte-identical to the cold run — and identical to
+// `ndetect -json` for the same circuit and options.
+//
+//	ndetectd -addr :8414 -workers 8 -cache 256
+//
+//	# enqueue the embedded bbtas benchmark
+//	curl -s localhost:8414/jobs -d '{"benchmark":"bbtas","analysis":"worstcase"}'
+//	# poll status, then fetch the result
+//	curl -s localhost:8414/jobs/<id>
+//	curl -s localhost:8414/jobs/<id>/result
+//
+// Endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
+// GET /healthz, GET /metrics. See internal/service for the API shapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndetect/internal/service"
+	"ndetect/internal/sim"
+)
+
+func main() {
+	var (
+		addrF    = flag.String("addr", ":8414", "listen address")
+		workersF = flag.Int("workers", 0, "server-wide worker budget, split across concurrent jobs (0 = one per CPU; DESIGN.md §5/§10)")
+		cacheF   = flag.Int("cache", service.DefaultCacheEntries, "result cache capacity (LRU entries)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N]")
+		os.Exit(2)
+	}
+
+	m := service.NewManager(service.Config{Workers: *workersF, CacheEntries: *cacheF})
+	srv := &http.Server{
+		Addr:              *addrF,
+		Handler:           service.NewServer(m).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	log.Printf("ndetectd: listening on %s (workers=%d, cache=%d entries)",
+		*addrF, sim.ResolveWorkers(*workersF), *cacheF)
+
+	// Serve until SIGINT/SIGTERM, then stop accepting and drain briefly.
+	// In-flight analyses are abandoned with the process: they are pure
+	// recomputable functions, so nothing is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("ndetectd: %v", err)
+	case <-ctx.Done():
+		log.Printf("ndetectd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("ndetectd: shutdown: %v", err)
+		}
+	}
+}

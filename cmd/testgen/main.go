@@ -6,8 +6,13 @@
 // Usage:
 //
 //	testgen -bench keyb -n 5 -o tests.txt
-//	testgen -netlist adder.net -n 3
+//	testgen -netlist adder.net -n 3 -workers 8
 //	faultsim -bench keyb -tests tests.txt -verify 5
+//
+// -workers bounds the fault-universe construction like every other binary
+// (0 = one per CPU, 1 = serial); the generated test set is identical for
+// every value (DESIGN.md §5). Generation itself is deterministic greedy
+// selection.
 package main
 
 import (
@@ -21,11 +26,12 @@ import (
 
 func main() {
 	var (
-		benchF = flag.String("bench", "", "embedded benchmark name")
-		netF   = flag.String("netlist", "", "netlist file")
-		nF     = flag.Int("n", 1, "detections per target fault")
-		outF   = flag.String("o", "", "output file (default stdout)")
-		quietF = flag.Bool("q", false, "suppress the stderr summary")
+		benchF   = flag.String("bench", "", "embedded benchmark name")
+		netF     = flag.String("netlist", "", "netlist file")
+		nF       = flag.Int("n", 1, "detections per target fault")
+		outF     = flag.String("o", "", "output file (default stdout)")
+		quietF   = flag.Bool("q", false, "suppress the stderr summary")
+		workersF = flag.Int("workers", 0, "worker pool size for the fault-universe construction (0 = one per CPU, 1 = serial; DESIGN.md §5)")
 	)
 	flag.Parse()
 	if *nF < 1 {
@@ -59,7 +65,7 @@ func main() {
 		fail(fmt.Errorf("specify exactly one of -bench or -netlist"))
 	}
 
-	u, err := ndetect.Analyze(c)
+	u, err := ndetect.AnalyzeParallel(c, *workersF)
 	if err != nil {
 		fail(err)
 	}

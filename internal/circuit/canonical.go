@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// Canonical form and content hash.
+//
+// Every analysis result in this repository is a pure function of
+// (circuit, options, seed) — DESIGN.md §7 — which makes circuits
+// content-addressable: two requests for the same circuit under the same
+// result-identity options can share one computation and one cached result
+// (DESIGN.md §10). Canonical produces the serialization that defines "the
+// same circuit", and Hash is its SHA-256.
+//
+// The canonical form keeps exactly the structure the analyses depend on and
+// nothing else:
+//
+//   - Primary inputs in declaration order. Input order is result identity:
+//     it numbers the vectors of U, and Procedure 1's seeded sampling draws
+//     by vector number.
+//   - Primary outputs in declaration order (named by their fanout stems,
+//     like Circuit.Write). Output order is result identity for the
+//     partitioned pipeline, which packs output cones in declaration order.
+//   - Gates and constants sorted by output signal name, each rendered as
+//     `kind out fanin...` with fanins named by their stems, in pin order.
+//     Signal names are unique, so the sort is total; gate *statement order*
+//     in the source never reaches the hash. Parsing the same .bench or
+//     netlist statements in any order yields the same canonical form.
+//   - No circuit name. The name is presentation (a file base name, a
+//     benchmark label); the same netlist posted under two names is the same
+//     circuit.
+//
+// Branch nodes are elided (fanins and outputs are written in stem terms):
+// branches are a structural artifact of Build, and their generated ~i names
+// depend on node-ID order, which statement order influences.
+func Canonical(c *Circuit) string {
+	var b strings.Builder
+
+	stemName := func(id int) string {
+		n := c.Nodes[id]
+		for n.Kind == Branch {
+			n = c.Nodes[n.Stem]
+		}
+		return n.Name
+	}
+
+	b.WriteString("inputs")
+	for _, id := range c.Inputs {
+		b.WriteByte(' ')
+		b.WriteString(c.Nodes[id].Name)
+	}
+	b.WriteString("\noutputs")
+	for _, id := range c.Outputs {
+		b.WriteByte(' ')
+		b.WriteString(stemName(id))
+	}
+	b.WriteByte('\n')
+
+	lines := make([]string, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case Input, Branch:
+			continue
+		}
+		var l strings.Builder
+		l.WriteString(n.Kind.String())
+		l.WriteByte(' ')
+		l.WriteString(n.Name)
+		for _, f := range n.Fanin {
+			l.WriteByte(' ')
+			l.WriteString(stemName(f))
+		}
+		lines = append(lines, l.String())
+	}
+	// Sort by the full line: the second field (the unique output name)
+	// decides, so this is a total order independent of node-ID order.
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Hash returns the hex SHA-256 of the circuit's canonical form — the
+// content address under which analysis results are cached (DESIGN.md §10).
+// It is invariant under gate-statement reordering of the source netlist and
+// under renaming the circuit, and sensitive to everything the analyses
+// depend on: gate structure, signal names, and input/output declaration
+// order.
+func Hash(c *Circuit) string {
+	sum := sha256.Sum256([]byte(Canonical(c)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Canonicalize rebuilds the circuit with node IDs assigned in canonical
+// order: gates are emitted depth-first from their name-sorted list
+// (drivers before consumers), so two parses of the same statements in any
+// order yield structurally *identical* circuits — same node IDs, same
+// generated branch names, same fault enumeration order.
+//
+// The hash alone cannot deliver that: node-ID order decides fault
+// enumeration, and with it the per-fault ordering of reports and the
+// target iteration order of Procedure 1's seeded sampling. Analyses that
+// promise "hash-equal circuits produce byte-identical documents" — the
+// serving layer's cache contract — must therefore analyze the canonical
+// form, not the as-parsed one (DESIGN.md §10). Canonicalize is a fixed
+// point: canonicalizing a canonicalized circuit reproduces it, and the
+// hash is unchanged.
+func Canonicalize(c *Circuit) (*Circuit, error) {
+	b := NewBuilder(c.Name)
+
+	stemName := func(id int) string {
+		n := c.Nodes[id]
+		for n.Kind == Branch {
+			n = c.Nodes[n.Stem]
+		}
+		return n.Name
+	}
+
+	for _, id := range c.Inputs {
+		b.Input(c.Nodes[id].Name)
+	}
+
+	type def struct {
+		kind   Kind
+		fanins []string
+	}
+	defs := make(map[string]def, len(c.Nodes))
+	names := make([]string, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		switch n.Kind {
+		case Input, Branch:
+			continue
+		}
+		fins := make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			fins[i] = stemName(f)
+		}
+		defs[n.Name] = def{kind: n.Kind, fanins: fins}
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+
+	// Depth-first emission from the sorted list: the circuit is a DAG, so
+	// marking before the recursion only prevents duplicate emission.
+	emitted := make(map[string]bool, len(names))
+	var emit func(name string)
+	emit = func(name string) {
+		d, isGate := defs[name]
+		if !isGate || emitted[name] {
+			return // primary input, or already emitted
+		}
+		emitted[name] = true
+		for _, f := range d.fanins {
+			emit(f)
+		}
+		switch d.kind {
+		case Const0:
+			b.Const(name, false)
+		case Const1:
+			b.Const(name, true)
+		default:
+			b.Gate(d.kind, name, d.fanins...)
+		}
+	}
+	for _, name := range names {
+		emit(name)
+	}
+
+	for _, o := range c.Outputs {
+		b.Output(stemName(o))
+	}
+	return b.Build()
+}

@@ -1,0 +1,211 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// c17 with the gate statements in reverse order (forward references are
+// legal in .bench) and declarations interleaved differently. Same circuit.
+const c17Reordered = `
+23 = NAND(16, 19)
+22 = NAND(10, 16)
+OUTPUT(22)
+OUTPUT(23)
+19 = NAND(11, 7)
+16 = NAND(2, 11)
+11 = NAND(3, 6)
+10 = NAND(1, 3)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+`
+
+func TestHashInvariantUnderStatementReordering(t *testing.T) {
+	orig, err := EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := ParseBenchString("c17-shuffled", c17Reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Canonical(orig) != Canonical(reordered) {
+		t.Fatalf("canonical forms differ:\n--- declaration order:\n%s--- reordered:\n%s",
+			Canonical(orig), Canonical(reordered))
+	}
+	if Hash(orig) != Hash(reordered) {
+		t.Fatalf("Hash not invariant under statement reordering: %s vs %s",
+			Hash(orig), Hash(reordered))
+	}
+}
+
+func TestHashIgnoresCircuitName(t *testing.T) {
+	a, err := ParseBenchString("one-name", c17Reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseBenchString("another-name", c17Reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(a) != Hash(b) {
+		t.Fatal("Hash should not depend on the circuit name")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base, err := EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different gate function is a different circuit.
+	differentGate, err := ParseBenchString("c17", strings.Replace(c17Reordered,
+		"10 = NAND(1, 3)", "10 = NOR(1, 3)", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(base) == Hash(differentGate) {
+		t.Fatal("Hash should change when a gate kind changes")
+	}
+
+	// Reordering INPUT declarations renumbers the vectors of U (seeded
+	// sampling identity), so it must change the hash.
+	swappedInputs, err := ParseBenchString("c17", strings.Replace(c17Reordered,
+		"INPUT(1)\nINPUT(2)", "INPUT(2)\nINPUT(1)", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(base) == Hash(swappedInputs) {
+		t.Fatal("Hash should depend on input declaration order")
+	}
+
+	// Reordering OUTPUT declarations changes partition packing order, so it
+	// must change the hash too.
+	swappedOutputs, err := ParseBenchString("c17", strings.Replace(c17Reordered,
+		"OUTPUT(22)\nOUTPUT(23)", "OUTPUT(23)\nOUTPUT(22)", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(base) == Hash(swappedOutputs) {
+		t.Fatal("Hash should depend on output declaration order")
+	}
+}
+
+func TestCanonicalElidesBranches(t *testing.T) {
+	c, err := EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := Canonical(c)
+	if strings.Contains(canon, "~") {
+		t.Fatalf("canonical form leaks generated branch names:\n%s", canon)
+	}
+	if strings.Contains(canon, "branch") {
+		t.Fatalf("canonical form contains branch nodes:\n%s", canon)
+	}
+}
+
+// Canonicalize maps every statement ordering of the same circuit onto one
+// structurally identical circuit — same node IDs, same branch names —
+// which is what lets hash-equal circuits produce byte-identical analysis
+// documents. It is a fixed point and preserves the hash.
+func TestCanonicalizeNormalizesNodeOrder(t *testing.T) {
+	orig, err := EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := ParseBenchString("c17", c17Reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The as-parsed circuits differ structurally (node IDs follow
+	// statement order) even though they hash the same...
+	if orig.WriteString() != reordered.WriteString() {
+		co, err := Canonicalize(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := Canonicalize(reordered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ...and canonicalization collapses the difference completely.
+		if co.WriteString() != cr.WriteString() {
+			t.Fatalf("canonicalized circuits still differ:\n%s---\n%s", co.WriteString(), cr.WriteString())
+		}
+		for i, n := range co.Nodes {
+			m := cr.Nodes[i]
+			if n.Name != m.Name || n.Kind != m.Kind || n.Level != m.Level {
+				t.Fatalf("node %d differs after canonicalization: %+v vs %+v", i, n, m)
+			}
+		}
+	} else {
+		t.Fatal("test premise broken: reordered parse should differ structurally")
+	}
+
+	// Fixed point: canonicalizing twice changes nothing, and the hash is
+	// preserved throughout.
+	once, err := Canonicalize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Canonicalize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.WriteString() != twice.WriteString() {
+		t.Fatal("Canonicalize is not a fixed point")
+	}
+	if Hash(once) != Hash(orig) {
+		t.Fatal("Canonicalize changed the hash")
+	}
+}
+
+// Canonicalize preserves semantics: same inputs, outputs, and function
+// (spot-checked by exhaustive evaluation of the 5-input c17).
+func TestCanonicalizePreservesFunction(t *testing.T) {
+	orig, err := EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Canonicalize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.NumInputs() != orig.NumInputs() || canon.NumOutputs() != orig.NumOutputs() {
+		t.Fatalf("interface changed: %d/%d vs %d/%d",
+			canon.NumInputs(), canon.NumOutputs(), orig.NumInputs(), orig.NumOutputs())
+	}
+	for v := 0; v < orig.VectorSpaceSize(); v++ {
+		a := orig.Eval(uint64(v))
+		b := canon.Eval(uint64(v))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("output %d differs at vector %d", i, v)
+			}
+		}
+	}
+}
+
+// The canonical form survives a round trip through the text netlist writer:
+// Write → Parse yields an isomorphic circuit with the same hash (Write
+// serializes in topological node order, which is exactly the kind of
+// order difference Canonical must absorb).
+func TestHashStableAcrossWriteParseRoundTrip(t *testing.T) {
+	c, err := EmbeddedBench("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseString(c.WriteString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(c) != Hash(reparsed) {
+		t.Fatalf("hash changed across Write/Parse round trip:\n--- original:\n%s--- reparsed:\n%s",
+			Canonical(c), Canonical(reparsed))
+	}
+}

@@ -1,0 +1,316 @@
+package exp
+
+import (
+	"fmt"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/ndetect"
+	"ndetect/internal/partition"
+	"ndetect/internal/report"
+)
+
+// Single-circuit analysis driver.
+//
+// AnalyzeCircuit is the one code path behind both `cmd/ndetect -json` and
+// the ndetectd serving layer: it runs one of the three analyses on one
+// circuit and shapes the result into the report.Analysis JSON document.
+// Because the computation is a pure function of (circuit, identity
+// options, seed) — DESIGN.md §7 — and report.Analysis encodes
+// deterministically, the emitted bytes are identical for every Workers
+// value and across CLI and daemon, which is what makes server results
+// cacheable and CLI-diffable (DESIGN.md §10).
+
+// AnalysisKind selects which of the three analysis facades a request runs.
+type AnalysisKind string
+
+// The three analysis kinds, mirroring the facades in the root package.
+const (
+	// WorstCaseAnalysis runs the Section 2 worst-case pass.
+	WorstCaseAnalysis AnalysisKind = "worstcase"
+	// AverageAnalysis runs the worst-case pass plus the Section 3
+	// Procedure 1 estimate on the faults the worst case does not settle.
+	AverageAnalysis AnalysisKind = "average"
+	// PartitionedAnalysis runs the Section 4 partitioned pipeline for
+	// circuits too wide for exhaustive analysis.
+	PartitionedAnalysis AnalysisKind = "partitioned"
+)
+
+// AnalysisRequest describes one single-circuit analysis. The identity
+// fields (Kind, NMax, K, Seed, Definition, Ge11Limit, MaxInputs) select
+// the result; Workers and Progress never influence it (DESIGN.md §7).
+type AnalysisRequest struct {
+	Kind AnalysisKind
+
+	// Average-case identity options (used when Kind is AverageAnalysis).
+	NMax       int   // deepest n-detection level (default 10)
+	K          int   // test sets per n (default 1000)
+	Seed       int64 // Procedure 1 seed
+	Definition int   // 1 (default) or 2
+	Ge11Limit  int   // cap on the analysed subset, 0 = none (DESIGN.md §4)
+
+	// Partitioned identity option (used when Kind is PartitionedAnalysis).
+	MaxInputs int // per-part input limit (default partition.DefaultMaxInputs)
+
+	// Workers bounds the §5 worker budget for every stage (0 = one per
+	// CPU, 1 = serial). Not part of the result identity.
+	Workers int
+	// Progress, when non-nil, observes stage transitions. Not part of the
+	// result identity.
+	Progress ndetect.Progress
+}
+
+// Normalize fills defaults and zeroes the fields the kind ignores, so that
+// two requests for the same result compare (and cache-key) equal. It
+// errors on an unknown kind or definition.
+func (r *AnalysisRequest) Normalize() error {
+	switch r.Kind {
+	case WorstCaseAnalysis:
+		r.NMax, r.K, r.Seed, r.Definition, r.Ge11Limit, r.MaxInputs = 0, 0, 0, 0, 0, 0
+	case AverageAnalysis:
+		if r.NMax <= 0 {
+			r.NMax = 10
+		}
+		if r.K <= 0 {
+			r.K = 1000
+		}
+		if r.Seed == 0 {
+			r.Seed = 1 // cmd/ndetect's -seed default; CLI and server must agree
+		}
+		if r.Definition == 0 {
+			r.Definition = int(ndetect.Def1)
+		}
+		if r.Definition != int(ndetect.Def1) && r.Definition != int(ndetect.Def2) {
+			return fmt.Errorf("exp: unknown definition %d (want 1 or 2)", r.Definition)
+		}
+		if r.Ge11Limit < 0 {
+			r.Ge11Limit = 0
+		}
+		r.MaxInputs = 0
+	case PartitionedAnalysis:
+		if r.MaxInputs <= 0 {
+			r.MaxInputs = partition.DefaultMaxInputs
+		}
+		r.NMax, r.K, r.Seed, r.Definition, r.Ge11Limit = 0, 0, 0, 0, 0
+	default:
+		return fmt.Errorf("exp: unknown analysis kind %q (want worstcase, average or partitioned)", r.Kind)
+	}
+	return nil
+}
+
+// IdentityOptions returns the result-identity options as they appear in
+// the emitted document (and in the serving layer's cache key).
+func (r *AnalysisRequest) IdentityOptions() report.Options {
+	return report.Options{
+		NMax:       r.NMax,
+		K:          r.K,
+		Seed:       r.Seed,
+		Definition: r.Definition,
+		Ge11Limit:  r.Ge11Limit,
+		MaxInputs:  r.MaxInputs,
+	}
+}
+
+// AnalyzeCircuit runs one analysis on one circuit and returns the
+// machine-readable result document. The request is normalized first, so
+// callers may leave defaults zero.
+//
+// The circuit is canonicalized before analysis (circuit.Canonicalize):
+// fault enumeration order — and with it the document's per-fault ordering
+// and Procedure 1's seeded sampling — follows node-ID order, so analyzing
+// the canonical form is what makes hash-equal circuits produce
+// byte-identical documents regardless of source statement order.
+func AnalyzeCircuit(c *circuit.Circuit, req AnalysisRequest) (*report.Analysis, error) {
+	if err := req.Normalize(); err != nil {
+		return nil, err
+	}
+	c, err := circuit.Canonicalize(c)
+	if err != nil {
+		return nil, fmt.Errorf("exp: canonicalize: %w", err)
+	}
+	doc := &report.Analysis{
+		Schema:  report.AnalysisSchema,
+		Kind:    string(req.Kind),
+		Circuit: circuitInfo(c),
+		Options: req.IdentityOptions(),
+	}
+
+	progress := func(stage string, done, total int) {
+		if req.Progress != nil {
+			req.Progress(stage, done, total)
+		}
+	}
+
+	if req.Kind == PartitionedAnalysis {
+		res, err := partition.AnalyzeParts(c, partition.Options{
+			MaxInputs: req.MaxInputs,
+			Progress:  func(done, total int) { progress("parts", done, total) },
+		}, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		doc.Partitioned = partitionedJSON(res)
+		return doc, nil
+	}
+
+	u, err := ndetect.FromCircuitOptions(c, ndetect.AnalyzeOptions{
+		Workers:  req.Workers,
+		Progress: req.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	progress("worstcase", 0, 1)
+	wc := ndetect.WorstCaseWorkers(&u.Universe, req.Workers)
+	progress("worstcase", 1, 1)
+	doc.WorstCase = worstCaseJSON(u, wc)
+
+	if req.Kind == AverageAnalysis {
+		avg, err := averageJSON(u, wc, &req, progress)
+		if err != nil {
+			return nil, err
+		}
+		doc.Average = avg
+	}
+	return doc, nil
+}
+
+func circuitInfo(c *circuit.Circuit) report.CircuitInfo {
+	s := c.ComputeStats()
+	return report.CircuitInfo{
+		Name:            c.Name,
+		Hash:            circuit.Hash(c),
+		Inputs:          s.Inputs,
+		Outputs:         s.Outputs,
+		Gates:           s.Gates,
+		MultiInputGates: s.MultiInputGates,
+		Branches:        s.Branches,
+		Depth:           s.MaxLevel,
+		VectorSpace:     s.VectorSpaceSize,
+	}
+}
+
+// jsonNMin maps the in-memory Unbounded sentinel onto the document's -1.
+func jsonNMin(v int) int {
+	if v == ndetect.Unbounded {
+		return report.UnboundedJSON
+	}
+	return v
+}
+
+func coveragePoints(coverageAt func(int) float64) []report.CoveragePoint {
+	pts := make([]report.CoveragePoint, 0, len(report.NMinColumns))
+	for _, n := range report.NMinColumns {
+		pts = append(pts, report.CoveragePoint{N: n, Pct: 100 * coverageAt(n)})
+	}
+	return pts
+}
+
+func tailPoints(countAtLeast func(int) int, total int) []report.TailPoint {
+	pts := make([]report.TailPoint, 0, len(report.Table3Columns))
+	for _, n := range report.Table3Columns {
+		cnt := countAtLeast(n)
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(cnt) / float64(total)
+		}
+		pts = append(pts, report.TailPoint{N: n, Count: cnt, Pct: pct})
+	}
+	return pts
+}
+
+func worstCaseJSON(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult) *report.WorstCase {
+	out := &report.WorstCase{
+		Targets:           len(u.Targets),
+		DetectableTargets: u.DetectableTargets(),
+		Untargeted:        len(u.Untargeted),
+		Coverage:          coveragePoints(wc.CoverageAt),
+		Tail:              tailPoints(wc.CountAtLeast, len(u.Untargeted)),
+		Unbounded:         wc.CountAtLeast(ndetect.Unbounded),
+		MaxFinite:         wc.MaxFinite(),
+		NMin:              make([]report.FaultNMin, len(u.Untargeted)),
+	}
+	for j, g := range u.Untargeted {
+		out.NMin[j] = report.FaultNMin{Name: g.Name, NMin: jsonNMin(wc.NMin[j])}
+	}
+	return out
+}
+
+// averageJSON runs Procedure 1 on the faults the worst case does not
+// settle (nmin > NMax, capped like the Table 5/6 drivers) and summarizes
+// it. An empty subset yields a document with Faults 0 and no Procedure 1
+// run — the JSON form of the CLI's "nothing to estimate".
+func averageJSON(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, req *AnalysisRequest, progress ndetect.Progress) (*report.Average, error) {
+	avg := &report.Average{
+		Definition:  req.Definition,
+		SubsetAbove: req.NMax + 1,
+		Thresholds:  []report.ThresholdPoint{},
+		P:           []report.FaultP{},
+	}
+	idx := capEvenly(wc.IndicesAtLeast(req.NMax+1), wc.NMin, req.Ge11Limit)
+	avg.Faults = len(idx)
+	if len(idx) == 0 {
+		return avg, nil
+	}
+
+	sub := u.SubsetUntargeted(idx)
+	opts := ndetect.Procedure1Options{
+		NMax:    req.NMax,
+		K:       req.K,
+		Seed:    req.Seed,
+		Workers: req.Workers,
+		Progress: func(done, total int) {
+			progress("procedure1", done, total)
+		},
+	}
+	if req.Definition == int(ndetect.Def2) {
+		opts.Definition = ndetect.Def2
+		opts.Checker = ndetect.NewCircuitCheckerFor(u)
+	}
+	res, err := ndetect.Procedure1(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	counts := res.ThresholdCounts(req.NMax)
+	for i, th := range report.Thresholds {
+		avg.Thresholds = append(avg.Thresholds, report.ThresholdPoint{P: th, Count: counts[i]})
+	}
+	minP, at := res.MinP(req.NMax)
+	avg.MinP = minP
+	avg.MinPFault = sub.Untargeted[at].Name
+	avg.ExpectedEscapes = res.ExpectedEscapes(req.NMax)
+	avg.MeanSetSize = res.MeanSetSize(req.NMax)
+	for j, g := range sub.Untargeted {
+		avg.P = append(avg.P, report.FaultP{Name: g.Name, P: res.P(req.NMax, j)})
+	}
+	return avg, nil
+}
+
+func partitionedJSON(res *partition.AnalysisResult) *report.Partitioned {
+	out := &report.Partitioned{
+		MaxInputs:    res.MaxInputs,
+		Parts:        make([]report.PartInfo, len(res.Parts)),
+		MergedFaults: len(res.Merged),
+		Coverage:     coveragePoints(res.MergedCoverageAt),
+		Tail:         tailPoints(res.MergedCountAtLeast, len(res.Merged)),
+		Unbounded:    res.MergedCountAtLeast(ndetect.Unbounded),
+		MaxFinite:    res.MergedMaxFinite(),
+		Merged:       make([]report.FaultNMin, 0, len(res.Merged)),
+	}
+	for i, a := range res.Parts {
+		out.Parts[i] = report.PartInfo{
+			Outputs:           a.Part.Outputs,
+			Inputs:            a.Stats.Inputs,
+			VectorSpace:       a.Stats.VectorSpaceSize,
+			Gates:             a.Stats.Gates,
+			Targets:           a.Targets,
+			DetectableTargets: a.DetectableTargets,
+			Untargeted:        a.Untargeted,
+			CoverageAt10Pct:   100 * a.CoverageAt(10),
+		}
+	}
+	for _, name := range res.MergedNames() {
+		out.Merged = append(out.Merged, report.FaultNMin{Name: name, NMin: jsonNMin(res.Merged[name])})
+	}
+	return out
+}

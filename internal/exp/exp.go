@@ -262,19 +262,24 @@ func Figure2(name string, cutoff int) (string, error) {
 // ge11Subset returns the indices of the nmin ≥ 11 faults, in nmin order
 // (hardest last), optionally capped.
 func ge11Subset(run *CircuitRun, limit int) []int {
-	idx := run.WC.IndicesAtLeast(11)
-	if limit > 0 && len(idx) > limit {
-		// Keep the distribution shape: sample evenly across the nmin-sorted
-		// list rather than truncating one end.
-		sortByNMin(idx, run.WC.NMin)
-		out := make([]int, 0, limit)
-		step := float64(len(idx)) / float64(limit)
-		for i := 0; i < limit; i++ {
-			out = append(out, idx[int(float64(i)*step)])
-		}
-		return out
+	return capEvenly(run.WC.IndicesAtLeast(11), run.WC.NMin, limit)
+}
+
+// capEvenly caps a fault-index subset at limit entries by sampling evenly
+// across the nmin-sorted list — keeping the distribution shape rather than
+// truncating one end (DESIGN.md §4). idx is returned unchanged when limit
+// is 0 or already satisfied; it is sorted in place otherwise.
+func capEvenly(idx []int, nmin []int, limit int) []int {
+	if limit <= 0 || len(idx) <= limit {
+		return idx
 	}
-	return idx
+	sortByNMin(idx, nmin)
+	out := make([]int, 0, limit)
+	step := float64(len(idx)) / float64(limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, idx[int(float64(i)*step)])
+	}
+	return out
 }
 
 func sortByNMin(idx []int, nmin []int) {

@@ -46,6 +46,11 @@ type Procedure1Options struct {
 	// set's randomness comes only from its own (Seed, k) stream.
 	Workers int
 
+	// Progress, when non-nil, observes completed test sets: it is called
+	// serially with (finished, K) as each of the K sets completes, in
+	// completion order. Like Workers, it never influences results.
+	Progress func(done, total int)
+
 	// KeepTestSets retains the constructed test sets per n (memory-heavy
 	// for large K; used for illustration and tests, cf. the paper's
 	// Table 4).
@@ -145,6 +150,7 @@ func Procedure1(u *Universe, opts Procedure1Options) (*Procedure1Result, error) 
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	finished := 0
 	sem := make(chan struct{}, opts.Workers)
 	for k := 0; k < opts.K; k++ {
 		wg.Add(1)
@@ -153,6 +159,12 @@ func Procedure1(u *Universe, opts Procedure1Options) (*Procedure1Result, error) 
 			defer wg.Done()
 			defer func() { <-sem }()
 			runOne(u, &opts, k, fAt, gAt, res, &mu)
+			if opts.Progress != nil {
+				mu.Lock()
+				finished++
+				opts.Progress(finished, opts.K)
+				mu.Unlock()
+			}
 		}(k)
 	}
 	wg.Wait()

@@ -68,6 +68,27 @@ type CircuitUniverse struct {
 	Bridges []fault.Bridge
 }
 
+// Progress observes coarse stage transitions of a long-running analysis:
+// stage names a phase, done/total count completed units within it (units
+// differ per stage — universe construction counts stages, Procedure 1
+// counts finished test sets, the partitioned pipeline counts parts).
+// Callbacks are invoked serially and must be fast; they exist for live
+// status reporting (the serving layer's job progress, DESIGN.md §10) and
+// never influence results.
+type Progress func(stage string, done, total int)
+
+// AnalyzeOptions configures FromCircuitOptions. Workers only changes
+// wall-clock time and Progress only observes — neither is part of the
+// result identity (DESIGN.md §7): the universe built is byte-identical for
+// every setting.
+type AnalyzeOptions struct {
+	// Workers bounds the simulation and T-set parallelism (0 = one worker
+	// per CPU, 1 = the exact serial path).
+	Workers int
+	// Progress, when non-nil, observes the construction stages.
+	Progress Progress
+}
+
 // FromCircuit builds the paper's experimental setup for a circuit:
 //
 //	F = collapsed single stuck-at faults (undetectable ones retained; they
@@ -81,12 +102,24 @@ func FromCircuit(c *circuit.Circuit) (*CircuitUniverse, error) {
 // FromCircuitWorkers is FromCircuit with an explicit worker count for the
 // exhaustive simulation and T-set construction (0 = one worker per CPU,
 // 1 = serial). The universe built is identical for every worker count.
+func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, error) {
+	return FromCircuitOptions(c, AnalyzeOptions{Workers: workers})
+}
+
+// FromCircuitOptions is FromCircuit with explicit options, reporting stage
+// transitions to opts.Progress.
 //
 // The T-sets are streamed — only the per-fault result bitsets span U — so
 // the construction is bounded by an explicit memory-budget check on those
 // results (sim.MemoryBudget) instead of by materialized per-node values.
-func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, error) {
-	e, err := sim.RunWorkers(c, workers)
+func FromCircuitOptions(c *circuit.Circuit, opts AnalyzeOptions) (*CircuitUniverse, error) {
+	step := func(stage string, done int) {
+		if opts.Progress != nil {
+			opts.Progress(stage, done, 3)
+		}
+	}
+	step("simulate", 0)
+	e, err := sim.RunWorkers(c, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -97,9 +130,12 @@ func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, erro
 		return nil, err
 	}
 
+	step("stuck-at-tsets", 1)
 	saT := e.StuckAtTSets(sas)
+	step("bridge-tsets", 2)
 	brT := e.BridgeTSets(brs)
 	brs, brT = sim.FilterDetectableBridges(brs, brT)
+	step("universe", 3)
 
 	u := &CircuitUniverse{
 		Universe: Universe{

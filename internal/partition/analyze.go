@@ -2,6 +2,7 @@ package partition
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"ndetect/internal/circuit"
@@ -139,6 +140,8 @@ func AnalyzeParts(c *circuit.Circuit, opts Options, workers int) (*AnalysisResul
 	analyses := make([]*PartAnalysis, len(parts))
 	errs := make([]error, len(parts))
 	var failed atomic.Bool
+	var progressMu sync.Mutex
+	finished := 0
 	sim.ParallelFor(outer, len(parts), func(i int) {
 		if failed.Load() {
 			return
@@ -150,6 +153,12 @@ func AnalyzeParts(c *circuit.Circuit, opts Options, workers int) (*AnalysisResul
 			return
 		}
 		analyses[i] = a
+		if opts.Progress != nil {
+			progressMu.Lock()
+			finished++
+			opts.Progress(finished, len(parts))
+			progressMu.Unlock()
+		}
 	})
 	for _, err := range errs {
 		if err != nil {

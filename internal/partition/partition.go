@@ -46,6 +46,12 @@ const DefaultMaxInputs = 16
 type Options struct {
 	// MaxInputs bounds each part's support (default DefaultMaxInputs).
 	MaxInputs int
+
+	// Progress, when non-nil, observes part completions during
+	// AnalyzeParts: it is called serially with (finished, parts) as each
+	// part's analysis finishes, in completion order. It never influences
+	// results (Split ignores it).
+	Progress func(done, total int)
 }
 
 // effectiveMaxInputs resolves the configured limit.

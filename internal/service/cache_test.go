@@ -1,0 +1,56 @@
+package service
+
+import "testing"
+
+func entry(id string) *cacheEntry {
+	return &cacheEntry{id: id, info: JobInfo{ID: id, State: JobDone}, result: []byte(id)}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.add(entry("a"))
+	c.add(entry("b"))
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+
+	// Touch a so b becomes the eviction victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.add(entry("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d after eviction", c.len())
+	}
+}
+
+func TestResultCacheRefreshExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.add(entry("a"))
+	c.add(entry("b"))
+	// Re-adding an existing ID refreshes in place: no growth, new value.
+	fresh := entry("a")
+	fresh.result = []byte("fresh")
+	c.add(fresh)
+	if c.len() != 2 {
+		t.Fatalf("len = %d after refresh", c.len())
+	}
+	got, ok := c.get("a")
+	if !ok || string(got.result) != "fresh" {
+		t.Fatalf("refresh lost the new value: %+v", got)
+	}
+	// And a was moved to the front by the refresh.
+	c.add(entry("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}

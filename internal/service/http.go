@@ -1,0 +1,256 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ndetect/internal/bench"
+	"ndetect/internal/circuit"
+	"ndetect/internal/exp"
+	"ndetect/internal/kiss"
+	"ndetect/internal/report"
+	"ndetect/internal/synth"
+)
+
+// The HTTP API — JSON over net/http, no dependencies beyond the standard
+// library (DESIGN.md §10):
+//
+//	POST /jobs                 enqueue an analysis; returns the job snapshot
+//	                           (200 + cached:true when already computed,
+//	                           202 otherwise — identical in-flight requests
+//	                           coalesce onto one job ID)
+//	GET  /jobs/{id}            job status with live progress
+//	GET  /jobs/{id}/result     the result document (202 + status while the
+//	                           job is still queued/running)
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus-style counters, text/plain
+//
+// The POST body names a circuit — inline source for the existing parsers
+// ("net", "bench" or "kiss2" format) or an embedded benchmark — plus the
+// analysis kind and its result-identity options:
+//
+//	{"benchmark": "bbtas", "analysis": "worstcase"}
+//	{"format": "bench", "name": "c17", "source": "INPUT(1)...",
+//	 "analysis": "average", "options": {"nmax": 10, "k": 1000, "seed": 1}}
+
+// maxRequestBytes bounds a POST body; netlists are text and the widest
+// supported circuits are far below this.
+const maxRequestBytes = 32 << 20
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	// Benchmark names an embedded circuit: an FSM surrogate from the
+	// benchmark suite (synthesized with the default options) or an ISCAS
+	// .bench sample. Mutually exclusive with Source.
+	Benchmark string `json:"benchmark,omitempty"`
+
+	// Source is inline circuit text; Format selects the parser: "net"
+	// (default), "bench" (ISCAS-85/89), or "kiss2" (an FSM, synthesized
+	// with the default options). Name labels the circuit (presentation
+	// only — it does not enter the job identity).
+	Format string `json:"format,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+
+	// Analysis is "worstcase" (default), "average" or "partitioned".
+	Analysis string `json:"analysis,omitempty"`
+	// Options are the result-identity options of DESIGN.md §7; fields the
+	// analysis kind ignores are normalized away.
+	Options report.Options `json:"options"`
+}
+
+// SubmitResponse is the POST /jobs reply: the job snapshot plus whether
+// the result was already available.
+type SubmitResponse struct {
+	JobInfo
+	Cached bool `json:"cached"`
+}
+
+// Server exposes a Manager over HTTP.
+type Server struct {
+	m *Manager
+}
+
+// NewServer wraps a manager.
+func NewServer(m *Manager) *Server { return &Server{m: m} }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing useful to do with a write error mid-response
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	c, err := loadSubmittedCircuit(&sub)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req, err := analysisRequest(&sub)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	info, cached, err := s.m.Submit(c, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{JobInfo: info, Cached: cached})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.m.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s (completed jobs expire from the result cache)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	result, info, ok := s.m.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s (completed jobs expire from the result cache)", r.PathValue("id"))
+		return
+	}
+	switch info.State {
+	case JobDone:
+		// The cached bytes verbatim: this response is the byte-identity
+		// contract between cold runs, cache hits, and cmd/ndetect -json.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	case JobFailed:
+		writeError(w, http.StatusUnprocessableEntity, "job %s failed: %s", info.ID, info.Error)
+	default:
+		writeJSON(w, http.StatusAccepted, info) // still queued/running: poll again
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c := s.m.Counters()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, m := range []struct {
+		name string
+		val  uint64
+	}{
+		{"ndetectd_jobs_submitted_total", c.Submitted},
+		{"ndetectd_jobs_cache_hits_total", c.CacheHits},
+		{"ndetectd_jobs_coalesced_total", c.Coalesced},
+		{"ndetectd_jobs_computed_total", c.Computed},
+		{"ndetectd_jobs_completed_total", c.Completed},
+		{"ndetectd_jobs_failed_total", c.Failed},
+		{"ndetectd_jobs_queued", uint64(c.Queued)},
+		{"ndetectd_jobs_running", uint64(c.Running)},
+		{"ndetectd_workers_in_use", uint64(c.WorkersInUse)},
+		{"ndetectd_workers_total", uint64(c.WorkersTotal)},
+		{"ndetectd_cache_entries", uint64(c.CacheEntries)},
+		{"ndetectd_cache_capacity", uint64(c.CacheCapacity)},
+	} {
+		fmt.Fprintf(w, "%s %d\n", m.name, m.val)
+	}
+}
+
+// loadSubmittedCircuit resolves the request's circuit: an embedded
+// benchmark by name, or inline source through the parser Format selects.
+func loadSubmittedCircuit(sub *SubmitRequest) (*circuit.Circuit, error) {
+	switch {
+	case sub.Benchmark != "" && sub.Source == "":
+		if b, ok := bench.ByName(sub.Benchmark); ok {
+			r, err := b.SynthesizeDefault()
+			if err != nil {
+				return nil, err
+			}
+			return r.Circuit, nil
+		}
+		if c, err := circuit.EmbeddedBench(sub.Benchmark); err == nil {
+			return c, nil
+		}
+		return nil, fmt.Errorf("unknown benchmark %q (known: %s %s)", sub.Benchmark,
+			strings.Join(bench.Names(), " "), strings.Join(circuit.EmbeddedBenchNames(), " "))
+	case sub.Source != "" && sub.Benchmark == "":
+		name := sub.Name
+		if name == "" {
+			name = "circuit"
+		}
+		switch sub.Format {
+		case "net", "":
+			return circuit.ParseString(sub.Source)
+		case "bench":
+			return circuit.ParseBenchString(name, sub.Source)
+		case "kiss2":
+			m, err := kiss.ParseString(name, sub.Source)
+			if err != nil {
+				return nil, err
+			}
+			r, err := synth.Synthesize(m, bench.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			return r.Circuit, nil
+		default:
+			return nil, fmt.Errorf("unknown format %q (want net, bench or kiss2)", sub.Format)
+		}
+	default:
+		return nil, fmt.Errorf("specify exactly one of benchmark or source")
+	}
+}
+
+// analysisRequest maps the submitted kind + options onto the driver
+// request (normalized later by Submit).
+func analysisRequest(sub *SubmitRequest) (exp.AnalysisRequest, error) {
+	kind := exp.AnalysisKind(sub.Analysis)
+	if sub.Analysis == "" {
+		kind = exp.WorstCaseAnalysis
+	}
+	switch kind {
+	case exp.WorstCaseAnalysis, exp.AverageAnalysis, exp.PartitionedAnalysis:
+	default:
+		return exp.AnalysisRequest{}, fmt.Errorf("unknown analysis %q (want worstcase, average or partitioned)", sub.Analysis)
+	}
+	return exp.AnalysisRequest{
+		Kind:       kind,
+		NMax:       sub.Options.NMax,
+		K:          sub.Options.K,
+		Seed:       sub.Options.Seed,
+		Definition: sub.Options.Definition,
+		Ge11Limit:  sub.Options.Ge11Limit,
+		MaxInputs:  sub.Options.MaxInputs,
+	}, nil
+}

@@ -1,0 +1,342 @@
+// Package service is the serving layer over the analysis engine: a job
+// manager that accepts analysis requests, content-addresses them by
+// canonical circuit hash + result-identity options (DESIGN.md §7),
+// coalesces identical concurrent requests into one computation, caches
+// results in a bounded LRU, and schedules distinct jobs under the one §5
+// worker budget — extending the budget-splitting rule from
+// circuits-within-a-run to jobs-within-a-server (DESIGN.md §10).
+//
+// Because every analysis is a pure function of (circuit, identity options,
+// seed) and encodes deterministically, a cached result is byte-identical
+// to the cold run that would have produced it, at any worker count. That
+// is the invariant the whole package is built on, and what its
+// golden-stability tests pin.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/exp"
+	"ndetect/internal/report"
+	"ndetect/internal/sim"
+)
+
+// DefaultCacheEntries bounds the result LRU when Config leaves it unset.
+const DefaultCacheEntries = 256
+
+// Config configures a Manager.
+type Config struct {
+	// Workers is the server-wide §5 worker budget W (0 = one worker per
+	// CPU). At any moment at most min(W, jobs) jobs run concurrently and
+	// the sum of their inner worker grants never exceeds W.
+	Workers int
+	// CacheEntries bounds the result LRU (0 = DefaultCacheEntries).
+	CacheEntries int
+
+	// run computes one analysis; tests substitute it to observe and block
+	// the scheduler. nil = exp.AnalyzeCircuit.
+	run func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ProgressInfo is the latest stage transition a running job reported
+// (ndetect.Progress semantics: units are stage-specific).
+type ProgressInfo struct {
+	Stage string `json:"stage,omitempty"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// JobInfo is a point-in-time snapshot of one job, safe to hold after the
+// manager has moved on.
+type JobInfo struct {
+	// ID is the job's content address: identical requests — same canonical
+	// circuit, same result-identity options — get the same ID, which is
+	// what makes coalescing and caching fall out of a map lookup.
+	ID      string         `json:"id"`
+	Kind    string         `json:"kind"`
+	Circuit string         `json:"circuit"`
+	Hash    string         `json:"hash"`
+	Options report.Options `json:"options"`
+	State   JobState       `json:"status"`
+	// Workers is the inner worker grant while running (0 otherwise). It
+	// never influences the result, only wall-clock time.
+	Workers  int          `json:"workers,omitempty"`
+	Progress ProgressInfo `json:"progress"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// Counters is a snapshot of the manager's monitoring counters.
+type Counters struct {
+	Submitted uint64 `json:"submitted"` // Submit calls
+	CacheHits uint64 `json:"cache_hits"`
+	Coalesced uint64 `json:"coalesced"` // submits joined to an in-flight job
+	Computed  uint64 `json:"computed"`  // jobs actually enqueued (cache misses)
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+
+	Queued           int `json:"queued"`
+	Running          int `json:"running"`
+	WorkersInUse     int `json:"workers_in_use"`
+	WorkersTotal     int `json:"workers_total"`
+	PeakWorkersInUse int `json:"peak_workers_in_use"`
+	CacheEntries     int `json:"cache_entries"`
+	CacheCapacity    int `json:"cache_capacity"`
+}
+
+// job is the manager's mutable bookkeeping for one in-flight computation.
+// All fields except done/result/err are guarded by Manager.mu; done is
+// closed exactly once at completion, after which result/err are immutable.
+type job struct {
+	info    JobInfo
+	circuit *circuit.Circuit
+	req     exp.AnalysisRequest
+	done    chan struct{}
+	result  []byte
+	err     error
+}
+
+// Manager owns the job queue, the scheduler and the result cache.
+type Manager struct {
+	workers int
+	run     func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
+
+	mu       sync.Mutex
+	inflight map[string]*job // queued or running, by ID
+	queue    []*job          // submission order
+	used     int             // inner worker grants currently out
+	cache    *resultCache
+	ctr      Counters
+}
+
+// NewManager starts an empty manager. It spawns no goroutines until work
+// arrives; there is nothing to shut down beyond abandoning it.
+func NewManager(cfg Config) *Manager {
+	entries := cfg.CacheEntries
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	run := cfg.run
+	if run == nil {
+		run = exp.AnalyzeCircuit
+	}
+	w := sim.ResolveWorkers(cfg.Workers)
+	return &Manager{
+		workers:  w,
+		run:      run,
+		inflight: make(map[string]*job),
+		cache:    newResultCache(entries),
+		ctr:      Counters{WorkersTotal: w, CacheCapacity: entries},
+	}
+}
+
+// jobKey is the canonical request identity: the circuit's content hash
+// plus every result-identity option of DESIGN.md §7 — and nothing else.
+// Workers and the circuit's display name are deliberately absent.
+func jobKey(hash string, req *exp.AnalysisRequest) string {
+	return fmt.Sprintf("ndetect.job/v1|%s|%s|nmax=%d|k=%d|seed=%d|def=%d|ge11=%d|maxin=%d",
+		req.Kind, hash, req.NMax, req.K, req.Seed, req.Definition, req.Ge11Limit, req.MaxInputs)
+}
+
+// jobID derives the job's content address from its key.
+func jobID(hash string, req *exp.AnalysisRequest) string {
+	sum := sha256.Sum256([]byte(jobKey(hash, req)))
+	return hex.EncodeToString(sum[:12])
+}
+
+// Submit registers an analysis request and returns its job snapshot.
+// cached reports that the result was already available (the returned info
+// is in a terminal state and Result will serve it immediately). An
+// in-flight identical request is joined, not recomputed: the returned ID
+// is the existing job's. The request's Workers and Progress fields are
+// ignored — the scheduler owns both.
+func (m *Manager) Submit(c *circuit.Circuit, req exp.AnalysisRequest) (info JobInfo, cached bool, err error) {
+	if c == nil {
+		return JobInfo{}, false, fmt.Errorf("service: nil circuit")
+	}
+	req.Workers = 0
+	req.Progress = nil
+	if err := req.Normalize(); err != nil {
+		return JobInfo{}, false, err
+	}
+	hash := circuit.Hash(c)
+	id := jobID(hash, &req)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctr.Submitted++
+
+	if e, ok := m.cache.get(id); ok {
+		m.ctr.CacheHits++
+		return e.info, true, nil
+	}
+	if j, ok := m.inflight[id]; ok {
+		m.ctr.Coalesced++
+		return j.info, false, nil
+	}
+
+	m.ctr.Computed++
+	j := &job{
+		info: JobInfo{
+			ID:      id,
+			Kind:    string(req.Kind),
+			Circuit: c.Name,
+			Hash:    hash,
+			Options: req.IdentityOptions(),
+			State:   JobQueued,
+		},
+		circuit: c,
+		req:     req,
+		done:    make(chan struct{}),
+	}
+	m.inflight[id] = j
+	m.queue = append(m.queue, j)
+	m.dispatchLocked()
+	return j.info, false, nil
+}
+
+// dispatchLocked starts queued jobs while worker budget remains: each
+// started job is granted max(1, avail/queued) inner workers, the adaptive
+// form of the §5 split (with J jobs waiting on an idle server each gets
+// ⌊W/min(W,J)⌋; a lone job gets all W; at most min(W, jobs) run at once
+// because every running job holds ≥ 1 of the W grants). Callers hold mu.
+func (m *Manager) dispatchLocked() {
+	for len(m.queue) > 0 {
+		avail := m.workers - m.used
+		if avail <= 0 {
+			return
+		}
+		grant := avail / len(m.queue)
+		if grant < 1 {
+			grant = 1
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		m.used += grant
+		if m.used > m.ctr.PeakWorkersInUse {
+			m.ctr.PeakWorkersInUse = m.used
+		}
+		j.info.State = JobRunning
+		j.info.Workers = grant
+		go m.runJob(j, grant)
+	}
+}
+
+// runJob computes one job and retires it: the result (success or
+// deterministic failure — analyses have no transient errors) moves into
+// the LRU, the budget returns to the pool, and waiters are released.
+func (m *Manager) runJob(j *job, grant int) {
+	req := j.req
+	req.Workers = grant
+	req.Progress = func(stage string, done, total int) {
+		m.mu.Lock()
+		j.info.Progress = ProgressInfo{Stage: stage, Done: done, Total: total}
+		m.mu.Unlock()
+	}
+	doc, err := m.run(j.circuit, req)
+	var encoded []byte
+	if err == nil {
+		encoded = doc.Encode()
+	}
+
+	m.mu.Lock()
+	m.used -= grant
+	delete(m.inflight, j.info.ID)
+	j.info.Workers = 0
+	if err != nil {
+		j.info.State = JobFailed
+		j.info.Error = err.Error()
+		j.err = err
+		m.ctr.Failed++
+	} else {
+		j.info.State = JobDone
+		j.result = encoded
+		m.ctr.Completed++
+	}
+	m.cache.add(&cacheEntry{id: j.info.ID, info: j.info, result: encoded})
+	j.circuit = nil // the parsed netlist is no longer needed; let it go
+	m.dispatchLocked()
+	m.mu.Unlock()
+	close(j.done)
+}
+
+// Status returns the current snapshot of a job: in-flight, or completed
+// and still in the result cache. ok is false for IDs the manager no
+// longer (or never) knew — completed jobs evicted from the LRU included.
+func (m *Manager) Status(id string) (JobInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[id]; ok {
+		return j.info, true
+	}
+	if e, ok := m.cache.get(id); ok {
+		return e.info, true
+	}
+	return JobInfo{}, false
+}
+
+// Result returns the encoded result document of a completed job along
+// with its snapshot. The bytes are nil unless info.State is JobDone —
+// queued, running and failed jobs have no result.
+func (m *Manager) Result(id string) (result []byte, info JobInfo, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[id]; ok {
+		return nil, j.info, true
+	}
+	if e, ok := m.cache.get(id); ok {
+		return e.result, e.info, true
+	}
+	return nil, JobInfo{}, false
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// result bytes (nil with a non-nil error for failed jobs).
+func (m *Manager) Wait(id string) ([]byte, error) {
+	m.mu.Lock()
+	j, inflight := m.inflight[id]
+	if !inflight {
+		e, ok := m.cache.get(id)
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("service: unknown job %s", id)
+		}
+		if e.info.State == JobFailed {
+			return nil, fmt.Errorf("service: job %s failed: %s", id, e.info.Error)
+		}
+		return e.result, nil
+	}
+	ch := j.done
+	m.mu.Unlock()
+	<-ch
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.result, nil
+}
+
+// Counters returns a snapshot of the monitoring counters.
+func (m *Manager) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.ctr
+	c.Queued = len(m.queue)
+	c.Running = len(m.inflight) - len(m.queue)
+	c.WorkersInUse = m.used
+	c.CacheEntries = m.cache.len()
+	return c
+}

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/exp"
+	"ndetect/internal/report"
+)
+
+func c17(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func worstcaseReq() exp.AnalysisRequest {
+	return exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis}
+}
+
+func averageReq(seed int64) exp.AnalysisRequest {
+	return exp.AnalysisRequest{Kind: exp.AverageAnalysis, NMax: 2, K: 20, Seed: seed}
+}
+
+// A repeated submit of the same circuit+options is a cache hit whose body
+// is byte-identical to the cold-run response — the acceptance contract.
+func TestCacheHitByteIdentical(t *testing.T) {
+	m := NewManager(Config{Workers: 4})
+	info, cached, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first submit cannot be a cache hit")
+	}
+	cold, err := m.Wait(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) == 0 {
+		t.Fatal("empty result")
+	}
+
+	again, cached, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || again.ID != info.ID || again.State != JobDone {
+		t.Fatalf("second submit should be a completed cache hit: cached=%v info=%+v", cached, again)
+	}
+	hit, _, ok := m.Result(again.ID)
+	if !ok || !bytes.Equal(cold, hit) {
+		t.Fatalf("cache hit is not byte-identical to the cold run (ok=%v, %d vs %d bytes)", ok, len(cold), len(hit))
+	}
+	ctr := m.Counters()
+	if ctr.Computed != 1 || ctr.CacheHits != 1 || ctr.Completed != 1 {
+		t.Fatalf("counters: %+v", ctr)
+	}
+}
+
+// Golden stability: a fresh manager at a different worker budget computes
+// the same bytes, which also match the shared CLI driver directly.
+func TestColdRunsByteIdenticalAcrossManagers(t *testing.T) {
+	req := averageReq(7)
+	direct, err := exp.AnalyzeCircuit(c17(t), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Encode()
+	for _, workers := range []int{1, 8} {
+		m := NewManager(Config{Workers: workers})
+		info, _, err := m.Submit(c17(t), averageReq(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Wait(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d: server bytes differ from the direct driver:\n%s\n---\n%s", workers, want, got)
+		}
+	}
+}
+
+// stubAnalysis is a minimal valid document for scheduler tests that never
+// run the real engine.
+func stubAnalysis(kind exp.AnalysisKind) *report.Analysis {
+	return &report.Analysis{Schema: report.AnalysisSchema, Kind: string(kind)}
+}
+
+// Concurrent identical requests compute the analysis exactly once.
+func TestCoalescingComputesOnce(t *testing.T) {
+	const clients = 16
+	var mu sync.Mutex
+	computations := 0
+	release := make(chan struct{})
+	m := NewManager(Config{
+		Workers: 4,
+		run: func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+			mu.Lock()
+			computations++
+			mu.Unlock()
+			<-release // hold the job in flight until every client has submitted
+			return exp.AnalyzeCircuit(c, req)
+		},
+	})
+
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info, _, err := m.Submit(c17(t), worstcaseReq())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = info.ID
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+
+	results := make([][]byte, clients)
+	for i, id := range ids {
+		b, err := m.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = b
+	}
+	for i := 1; i < clients; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("identical requests got different job IDs: %s vs %s", ids[0], ids[i])
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatal("coalesced clients observed different result bytes")
+		}
+	}
+	if computations != 1 {
+		t.Fatalf("identical concurrent requests ran the analysis %d times, want 1", computations)
+	}
+	ctr := m.Counters()
+	if ctr.Coalesced != clients-1 {
+		t.Fatalf("coalesced counter = %d, want %d (%+v)", ctr.Coalesced, clients-1, ctr)
+	}
+}
+
+// The job scheduler extends the §5 budget split to jobs-within-a-server:
+// a lone job gets the whole budget W; a backlog runs min(W, jobs) jobs
+// with the W grants divided between them, never exceeding W in total.
+func TestSchedulerBudgetSplitting(t *testing.T) {
+	const w = 4
+	const jobs = 8
+	var mu sync.Mutex
+	grants := []int{}
+	running, peakRunning := 0, 0
+	firstStarted := make(chan int, 1)
+	release := make(chan struct{})
+	m := NewManager(Config{
+		Workers: w,
+		run: func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+			mu.Lock()
+			grants = append(grants, req.Workers)
+			running++
+			if running > peakRunning {
+				peakRunning = running
+			}
+			if len(grants) == 1 {
+				firstStarted <- req.Workers
+			}
+			mu.Unlock()
+			<-release
+			mu.Lock()
+			running--
+			mu.Unlock()
+			return stubAnalysis(req.Kind), nil
+		},
+	})
+
+	// Distinct jobs: same circuit, different seeds.
+	// Seeds must be distinct after normalization (0 normalizes to 1).
+	ids := make([]string, jobs)
+	info, _, err := m.Submit(c17(t), averageReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids[0] = info.ID
+	// An idle server hands the lone job its entire budget.
+	if got := <-firstStarted; got != w {
+		t.Fatalf("lone job granted %d workers, want the full budget %d", got, w)
+	}
+	for i := 1; i < jobs; i++ {
+		info, _, err := m.Submit(c17(t), averageReq(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	close(release)
+	for _, id := range ids {
+		if _, err := m.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctr := m.Counters()
+	if ctr.PeakWorkersInUse > w {
+		t.Fatalf("worker grants exceeded the budget: peak %d > W=%d", ctr.PeakWorkersInUse, w)
+	}
+	if peakRunning > w {
+		t.Fatalf("more than min(W, jobs) jobs in flight: %d > %d", peakRunning, w)
+	}
+	sorted := append([]int(nil), grants...)
+	sort.Ints(sorted)
+	if len(sorted) != jobs || sorted[0] < 1 || sorted[len(sorted)-1] != w {
+		t.Fatalf("grants = %v: want %d grants, each ≥ 1, lone job getting %d", grants, jobs, w)
+	}
+	if ctr.WorkersInUse != 0 || ctr.Running != 0 || ctr.Queued != 0 {
+		t.Fatalf("budget not returned after completion: %+v", ctr)
+	}
+}
+
+// Eviction from the bounded LRU causes an honest recompute, not an error.
+func TestLRUEvictionRecomputes(t *testing.T) {
+	computed := map[string]int{}
+	var mu sync.Mutex
+	m := NewManager(Config{
+		Workers:      2,
+		CacheEntries: 1,
+		run: func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+			mu.Lock()
+			computed[string(req.Kind)]++
+			mu.Unlock()
+			return stubAnalysis(req.Kind), nil
+		},
+	})
+
+	a, _, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := m.Submit(c17(t), averageReq(1)) // evicts a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Status(a.ID); ok {
+		t.Fatal("evicted job should be unknown")
+	}
+
+	again, cached, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || again.ID != a.ID {
+		t.Fatalf("resubmit after eviction should recompute under the same ID: cached=%v", cached)
+	}
+	if _, err := m.Wait(again.ID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if computed["worstcase"] != 2 || computed["average"] != 1 {
+		t.Fatalf("computed = %v", computed)
+	}
+}
+
+// The job identity is (canonical circuit, kind, result-identity options):
+// defaults normalize, and neither Workers nor the circuit name enter it.
+func TestJobIdentity(t *testing.T) {
+	m1 := NewManager(Config{Workers: 1})
+	m8 := NewManager(Config{Workers: 8})
+
+	base, _, err := m1.Submit(c17(t), exp.AnalysisRequest{Kind: exp.AverageAnalysis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit defaults are the same analysis.
+	explicit, _, err := m8.Submit(c17(t), exp.AnalysisRequest{
+		Kind: exp.AverageAnalysis, NMax: 10, K: 1000, Seed: 0, Definition: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ID != explicit.ID {
+		t.Fatalf("normalized defaults should share an ID: %s vs %s", base.ID, explicit.ID)
+	}
+
+	// A renamed but structurally identical circuit is the same job.
+	renamed, err := circuit.ParseString(c17(t).WriteString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed.Name = "another-name"
+	sameCircuit, _, err := m8.Submit(renamed, exp.AnalysisRequest{Kind: exp.AverageAnalysis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameCircuit.ID != base.ID {
+		t.Fatal("circuit display name must not enter the job identity")
+	}
+
+	// A different seed is a different analysis.
+	other, _, err := m1.Submit(c17(t), exp.AnalysisRequest{Kind: exp.AverageAnalysis, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ID == base.ID {
+		t.Fatal("seed is result identity and must change the job ID")
+	}
+
+	// Drain both managers so no analysis outlives the test.
+	for _, w := range []struct {
+		m  *Manager
+		id string
+	}{{m1, base.ID}, {m1, other.ID}, {m8, explicit.ID}, {m8, sameCircuit.ID}} {
+		if _, err := w.m.Wait(w.id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Deterministic failures are cached like results: the second submit does
+// not recompute, and the failure is observable.
+func TestFailedJobCached(t *testing.T) {
+	computations := 0
+	var mu sync.Mutex
+	m := NewManager(Config{
+		Workers: 2,
+		run: func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+			mu.Lock()
+			computations++
+			mu.Unlock()
+			return nil, errors.New("budget exceeded")
+		},
+	})
+	info, _, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(info.ID); err == nil {
+		t.Fatal("Wait should surface the job failure")
+	}
+	st, ok := m.Status(info.ID)
+	if !ok || st.State != JobFailed || st.Error == "" {
+		t.Fatalf("failed job status: %+v", st)
+	}
+
+	again, cached, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || again.State != JobFailed {
+		t.Fatalf("failure should be served from cache: cached=%v state=%s", cached, again.State)
+	}
+	if _, st, _ := m.Result(info.ID); st.State != JobFailed {
+		t.Fatal("Result should report the failed state")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if computations != 1 {
+		t.Fatalf("failure recomputed: %d runs", computations)
+	}
+	if ctr := m.Counters(); ctr.Failed != 1 {
+		t.Fatalf("counters: %+v", ctr)
+	}
+}

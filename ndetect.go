@@ -82,6 +82,12 @@ type (
 	TestSet = core.TestSet
 	// Procedure1Options configures the random test set generator.
 	Procedure1Options = core.Procedure1Options
+	// Progress observes coarse stage transitions of a long-running
+	// analysis (stage name, done, total). It never influences results.
+	Progress = core.Progress
+	// AnalyzeOptions configures AnalyzeWith: a worker budget and an
+	// optional progress hook, neither part of the result identity.
+	AnalyzeOptions = core.AnalyzeOptions
 	// Procedure1Result holds detection statistics over the K runs.
 	Procedure1Result = core.Procedure1Result
 	// Definition selects Definition 1 or Definition 2 counting.
@@ -169,6 +175,15 @@ func Analyze(c *Circuit) (*CircuitUniverse, error) { return core.FromCircuit(c) 
 // worker count; only wall-clock time changes. See DESIGN.md §5.
 func AnalyzeParallel(c *Circuit, workers int) (*CircuitUniverse, error) {
 	return core.FromCircuitWorkers(c, workers)
+}
+
+// AnalyzeWith is Analyze with explicit options: a worker budget and an
+// optional progress hook observing the construction stages (simulate,
+// stuck-at T-sets, bridge T-sets). Long-lived callers — the ndetectd
+// serving layer is one — use the hook for live job status; it never
+// changes the universe built.
+func AnalyzeWith(c *Circuit, opts AnalyzeOptions) (*CircuitUniverse, error) {
+	return core.FromCircuitOptions(c, opts)
 }
 
 // WorstCase runs the paper's Section 2 analysis: nmin(g) for every

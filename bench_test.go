@@ -141,6 +141,41 @@ func BenchmarkPartitionedAnalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSharedUniverse measures the sweep engine's point: S
+// option variants over one circuit with the exhaustive universe
+// constructed once (exp.Sweep) versus recomputed per variant (one
+// exp.AnalyzeCircuit each). The documents are byte-identical either way
+// (exp.TestSweepSharesUniverseAndMatchesColdRuns); the ratio is what the
+// universe tier of the artifact store saves every warm request
+// (DESIGN.md §11).
+func BenchmarkSweepSharedUniverse(b *testing.B) {
+	c := mustCircuit(b, "bbara")
+	variants, err := exp.ParseSweep("analysis=average;nmax=10;k=20;seed=1..4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			docs, err := exp.Sweep(c, variants, exp.SweepOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(docs) != len(variants) {
+				b.Fatal("variant count mismatch")
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range variants {
+				if _, err := exp.AnalyzeCircuit(c, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkWorstCaseExample runs the worst-case analysis on the paper's
 // published Table 1 detection sets.
 func BenchmarkWorstCaseExample(b *testing.B) {

@@ -27,6 +27,18 @@
 // (internal/report.Analysis) — the same encoder the ndetectd server uses,
 // so CLI and daemon outputs diff clean for the same circuit and options.
 //
+// -sweep SPEC runs a whole grid of result-identity option variants over
+// the circuit with one shared exhaustive universe (DESIGN.md §11),
+// printing each variant's -json document in grid order — each
+// byte-identical to the one-shot run with the same options. The spec is
+// semicolon-separated key=values with comma lists and lo..hi ranges,
+// e.g. "nmax=10;k=1000;seed=1..5;def=1,2".
+//
+// -store-dir DIR makes -json and -sweep runs warm-startable: the
+// exhaustive universe (T-sets + fault tables) is loaded from / saved to
+// the same persistent artifact store ndetectd uses, so repeated runs over
+// one circuit skip simulation and T-set construction.
+//
 // Examples:
 //
 //	ndetect -bench bbara
@@ -36,6 +48,7 @@
 //	ndetect -netlist c880.bench -format bench -partition 16
 //	ndetect -bench w64 -partition 16 -workers 8
 //	ndetect -bench dvram -cpuprofile cpu.pprof -memprofile mem.pprof
+//	ndetect -bench bbtas -sweep "nmax=10;k=200;seed=1..5" -store-dir ./artifacts
 //	ndetect -kiss2 machine.kiss2 -avg
 package main
 
@@ -56,6 +69,7 @@ import (
 	"ndetect/internal/ndetect"
 	"ndetect/internal/partition"
 	"ndetect/internal/report"
+	"ndetect/internal/store"
 	"ndetect/internal/synth"
 )
 
@@ -75,6 +89,8 @@ func main() {
 		worstF   = flag.Int("worst", 10, "show the hardest N untargeted faults")
 		partF    = flag.Int("partition", 0, "partition into ≤N-input cones before analysis (0 = off)")
 		jsonF    = flag.Bool("json", false, "emit the machine-readable analysis document instead of text (byte-identical to the ndetectd server's result for the same circuit and options)")
+		sweepF   = flag.String("sweep", "", `run a grid of option variants over one shared universe and print each variant's JSON document, e.g. "nmax=10;k=1000;seed=1..5;def=1,2" (DESIGN.md §11)`)
+		storeF   = flag.String("store-dir", "", "persistent artifact store for -json/-sweep universe reuse (same layout as ndetectd's; DESIGN.md §11)")
 		ge11F    = flag.Int("ge11", 0, "with -json -avg: cap the analysed nmin subset by even sampling (0 = no cap; DESIGN.md §4)")
 		twoLevel = flag.Bool("two-level", false, "use two-level PLA synthesis for -kiss2/-bench")
 		workersF = flag.Int("workers", 0, "worker pool size for simulation, T-sets and -avg (0 = one per CPU, 1 = serial)")
@@ -133,10 +149,45 @@ func main() {
 		fail(err)
 	}
 
+	// The artifact store backs -json and -sweep only: those paths analyze
+	// the canonical circuit, which is what universe artifacts are keyed
+	// and node-indexed by. The text report analyzes the circuit as parsed,
+	// so combining it with -store-dir is an error rather than a silent
+	// no-op.
+	var universes exp.UniverseSource
+	if *storeF != "" {
+		if !*jsonF && *sweepF == "" {
+			fail(fmt.Errorf("-store-dir applies to -json and -sweep runs only (the text report does not use the artifact store)"))
+		}
+		st, err := store.Open(*storeF, store.Options{})
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		universes = st
+	}
+
+	if *sweepF != "" {
+		variants, err := exp.ParseSweep(*sweepF)
+		if err != nil {
+			fail(err)
+		}
+		docs, err := exp.Sweep(c, variants, exp.SweepOptions{Workers: *workersF, Universes: universes})
+		if err != nil {
+			fail(err)
+		}
+		for _, doc := range docs {
+			if _, err := os.Stdout.Write(doc.Encode()); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+
 	if *jsonF {
 		// One shared driver behind -json and the ndetectd server: same
 		// circuit + options → byte-identical documents (DESIGN.md §10).
-		req := exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis, Workers: *workersF}
+		req := exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis, Workers: *workersF, Universes: universes}
 		switch {
 		case *partF > 0:
 			req.Kind = exp.PartitionedAnalysis

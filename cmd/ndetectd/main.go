@@ -7,16 +7,29 @@
 // a cached response is byte-identical to the cold run — and identical to
 // `ndetect -json` for the same circuit and options.
 //
-//	ndetectd -addr :8414 -workers 8 -cache 256
+// With -store-dir the caches become persistent (DESIGN.md §11): results
+// and universe artifacts are written to a crash-safe on-disk store, so a
+// restarted daemon serves previously computed work from disk and new
+// option variants over known circuits skip straight past exhaustive
+// simulation.
+//
+//	ndetectd -addr :8414 -workers 8 -cache 256 -store-dir /var/lib/ndetectd
 //
 //	# enqueue the embedded bbtas benchmark
 //	curl -s localhost:8414/jobs -d '{"benchmark":"bbtas","analysis":"worstcase"}'
 //	# poll status, then fetch the result
 //	curl -s localhost:8414/jobs/<id>
 //	curl -s localhost:8414/jobs/<id>/result
+//	# sweep option variants over one circuit (shared universe)
+//	curl -s localhost:8414/sweeps -d '{"benchmark":"bbtas","sweep":"nmax=10;k=1000;seed=1..5;def=1,2"}'
 //
-// Endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
-// GET /healthz, GET /metrics. See internal/service for the API shapes.
+// Endpoints: POST /jobs, POST /sweeps, GET /jobs/{id},
+// GET /jobs/{id}/result, GET /healthz, GET /metrics. See internal/service
+// for the API shapes.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// jobs (new submissions answer 503), drains in-flight analyses for up to
+// -drain, flushes the store, and exits.
 package main
 
 import (
@@ -33,33 +46,52 @@ import (
 
 	"ndetect/internal/service"
 	"ndetect/internal/sim"
+	"ndetect/internal/store"
 )
 
 func main() {
 	var (
-		addrF    = flag.String("addr", ":8414", "listen address")
-		workersF = flag.Int("workers", 0, "server-wide worker budget, split across concurrent jobs (0 = one per CPU; DESIGN.md §5/§10)")
-		cacheF   = flag.Int("cache", service.DefaultCacheEntries, "result cache capacity (LRU entries)")
+		addrF     = flag.String("addr", ":8414", "listen address")
+		workersF  = flag.Int("workers", 0, "server-wide worker budget, split across concurrent jobs (0 = one per CPU; DESIGN.md §5/§10)")
+		cacheF    = flag.Int("cache", service.DefaultCacheEntries, "result cache capacity (LRU entries)")
+		storeF    = flag.String("store-dir", "", "persistent artifact store directory (empty = in-memory caches only; DESIGN.md §11)")
+		storeMaxF = flag.Int64("store-max-bytes", 0, "artifact store size bound in bytes (0 = default 1 GiB; LRU eviction)")
+		drainF    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight analyses")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N]")
+		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-drain 30s]")
 		os.Exit(2)
 	}
 
-	m := service.NewManager(service.Config{Workers: *workersF, CacheEntries: *cacheF})
+	var st *store.Store
+	if *storeF != "" {
+		var err error
+		if st, err = store.Open(*storeF, store.Options{MaxBytes: *storeMaxF}); err != nil {
+			log.Fatalf("ndetectd: %v", err)
+		}
+	}
+
+	m := service.NewManager(service.Config{Workers: *workersF, CacheEntries: *cacheF, Store: st})
 	srv := &http.Server{
 		Addr:              *addrF,
 		Handler:           service.NewServer(m).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	log.Printf("ndetectd: listening on %s (workers=%d, cache=%d entries)",
-		*addrF, sim.ResolveWorkers(*workersF), *cacheF)
+	storeDesc := "none"
+	if st != nil {
+		storeDesc = st.Dir()
+	}
+	log.Printf("ndetectd: listening on %s (workers=%d, cache=%d entries, store=%s)",
+		*addrF, sim.ResolveWorkers(*workersF), *cacheF, storeDesc)
 
-	// Serve until SIGINT/SIGTERM, then stop accepting and drain briefly.
-	// In-flight analyses are abandoned with the process: they are pure
-	// recomputable functions, so nothing is lost.
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
+	// accepting (HTTP first, then the manager), drain in-flight analyses
+	// so their results reach the store, and close the store. Analyses
+	// still running at the -drain deadline are abandoned with the process
+	// — they are pure recomputable functions, so nothing is lost beyond
+	// the cache warmth.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -68,11 +100,20 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("ndetectd: %v", err)
 	case <-ctx.Done():
-		log.Printf("ndetectd: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("ndetectd: shutting down (draining up to %s)", *drainF)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainF)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("ndetectd: shutdown: %v", err)
 		}
+		if err := m.Drain(shutdownCtx); err != nil {
+			log.Printf("ndetectd: drain: %v (abandoning in-flight analyses)", err)
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("ndetectd: store close: %v", err)
+			}
+		}
+		log.Printf("ndetectd: bye")
 	}
 }

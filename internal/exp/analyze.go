@@ -57,6 +57,26 @@ type AnalysisRequest struct {
 	// Progress, when non-nil, observes stage transitions. Not part of the
 	// result identity.
 	Progress ndetect.Progress
+	// Universes, when non-nil, supplies the exhaustive universe instead
+	// of constructing it per request — the hook behind the artifact
+	// store's universe tier and the sweep engine's sharing (DESIGN.md
+	// §11). A source must return exactly what ndetect.FromCircuitOptions
+	// would build for the canonical circuit, which is why substituting
+	// one never changes result bytes; it is not part of the result
+	// identity. Ignored by the partitioned analysis (per-part universes
+	// are constructed inside the pipeline).
+	Universes UniverseSource
+}
+
+// UniverseSource supplies the exhaustive universe of a canonical circuit:
+// T(f)/T(g) bitsets and fault tables, the dominant cost every
+// result-identity option variant shares. Implementations load it from the
+// artifact store, memoize it across a sweep, or both; store.Store is one.
+// opts carries the caller's worker budget and progress hook — a source
+// that does construct must thread them through, and the universe returned
+// must be identical for every opts value (§7).
+type UniverseSource interface {
+	Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
 }
 
 // Normalize fills defaults and zeroes the fields the kind ignores, so that
@@ -152,10 +172,13 @@ func AnalyzeCircuit(c *circuit.Circuit, req AnalysisRequest) (*report.Analysis, 
 		return doc, nil
 	}
 
-	u, err := ndetect.FromCircuitOptions(c, ndetect.AnalyzeOptions{
-		Workers:  req.Workers,
-		Progress: req.Progress,
-	})
+	aopts := ndetect.AnalyzeOptions{Workers: req.Workers, Progress: req.Progress}
+	var u *ndetect.CircuitUniverse
+	if req.Universes != nil {
+		u, err = req.Universes.Universe(c, aopts)
+	} else {
+		u, err = ndetect.FromCircuitOptions(c, aopts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -137,6 +137,17 @@ func FromCircuitOptions(c *circuit.Circuit, opts AnalyzeOptions) (*CircuitUniver
 	brs, brT = sim.FilterDetectableBridges(brs, brT)
 	step("universe", 3)
 
+	return AssembleUniverse(c, sas, brs, saT, brT), nil
+}
+
+// AssembleUniverse binds precomputed fault tables and their T-sets to a
+// circuit, producing the same CircuitUniverse FromCircuit would build had
+// it computed them itself: fault names are rendered from the circuit, and
+// Targets[i]/Untargeted[i] pair with StuckAt[i]/Bridges[i] in table order.
+// It is the assembly tail of FromCircuitOptions, shared with the artifact
+// store's universe codec so that a deserialized universe is
+// indistinguishable from a freshly constructed one (DESIGN.md §11).
+func AssembleUniverse(c *circuit.Circuit, sas []fault.StuckAt, brs []fault.Bridge, saT, brT []*bitset.Set) *CircuitUniverse {
 	u := &CircuitUniverse{
 		Universe: Universe{
 			Size:       c.VectorSpaceSize(),
@@ -153,7 +164,7 @@ func FromCircuitOptions(c *circuit.Circuit, opts AnalyzeOptions) (*CircuitUniver
 	for i, g := range brs {
 		u.Untargeted[i] = Fault{Name: g.Name(c), T: brT[i]}
 	}
-	return u, nil
+	return u
 }
 
 // DetectableTargets returns the number of targets with non-empty T-sets.

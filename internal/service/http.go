@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"ndetect/internal/exp"
 	"ndetect/internal/kiss"
 	"ndetect/internal/report"
+	"ndetect/internal/store"
 	"ndetect/internal/synth"
 )
 
@@ -39,8 +41,10 @@ import (
 // supported circuits are far below this.
 const maxRequestBytes = 32 << 20
 
-// SubmitRequest is the POST /jobs body.
-type SubmitRequest struct {
+// CircuitRef names the circuit of a request: an embedded benchmark, or
+// inline source for one of the existing parsers. Its fields inline into
+// the JSON of every request shape that carries a circuit.
+type CircuitRef struct {
 	// Benchmark names an embedded circuit: an FSM surrogate from the
 	// benchmark suite (synthesized with the default options) or an ISCAS
 	// .bench sample. Mutually exclusive with Source.
@@ -53,12 +57,43 @@ type SubmitRequest struct {
 	Format string `json:"format,omitempty"`
 	Name   string `json:"name,omitempty"`
 	Source string `json:"source,omitempty"`
+}
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	CircuitRef
 
 	// Analysis is "worstcase" (default), "average" or "partitioned".
 	Analysis string `json:"analysis,omitempty"`
 	// Options are the result-identity options of DESIGN.md §7; fields the
 	// analysis kind ignores are normalized away.
 	Options report.Options `json:"options"`
+}
+
+// SweepVariant is one grid point of a POST /sweeps body.
+type SweepVariant struct {
+	// Analysis is "worstcase" (default) or "average" — partitioned
+	// analyses share no exhaustive universe and are rejected.
+	Analysis string `json:"analysis,omitempty"`
+	// Options are the variant's result-identity options.
+	Options report.Options `json:"options"`
+}
+
+// SweepRequest is the POST /sweeps body: one circuit plus a variant grid,
+// given either explicitly (variants) or as a grid specification string
+// (sweep, the exp.ParseSweep format, e.g. "seed=1..5;def=1,2").
+type SweepRequest struct {
+	CircuitRef
+
+	Sweep    string         `json:"sweep,omitempty"`
+	Variants []SweepVariant `json:"variants,omitempty"`
+}
+
+// SweepResponse is the POST /sweeps reply: per-variant job snapshots in
+// variant order. Each job is an ordinary /jobs citizen — poll and fetch
+// it by ID exactly as if it had been submitted alone.
+type SweepResponse struct {
+	Jobs []SubmitResponse `json:"jobs"`
 }
 
 // SubmitResponse is the POST /jobs reply: the job snapshot plus whether
@@ -80,6 +115,7 @@ func NewServer(m *Manager) *Server { return &Server{m: m} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /sweeps", s.handleSweep)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -107,12 +143,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	c, err := loadSubmittedCircuit(&sub)
+	c, err := loadSubmittedCircuit(&sub.CircuitRef)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	req, err := analysisRequest(&sub)
+	req, err := analysisRequest(sub.Analysis, sub.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -120,7 +156,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	info, cached, err := s.m.Submit(c, req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, submitErrorCode(err), "%v", err)
 		return
 	}
 	code := http.StatusAccepted
@@ -128,6 +164,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, SubmitResponse{JobInfo: info, Cached: cached})
+}
+
+// handleSweep enqueues a variant grid over one circuit: 200 when every
+// variant was already computed, 202 otherwise.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sub SweepRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	c, err := loadSubmittedCircuit(&sub.CircuitRef)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var variants []exp.AnalysisRequest
+	switch {
+	case sub.Sweep != "" && len(sub.Variants) == 0:
+		if variants, err = exp.ParseSweep(sub.Sweep); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case len(sub.Variants) > 0 && sub.Sweep == "":
+		for _, v := range sub.Variants {
+			req, err := analysisRequest(v.Analysis, v.Options)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			variants = append(variants, req)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "specify exactly one of sweep or variants")
+		return
+	}
+
+	jobs, err := s.m.SubmitSweep(c, variants)
+	if err != nil {
+		writeError(w, submitErrorCode(err), "%v", err)
+		return
+	}
+	code := http.StatusOK
+	for _, j := range jobs {
+		if !j.Cached {
+			code = http.StatusAccepted
+			break
+		}
+	}
+	writeJSON(w, code, SweepResponse{Jobs: jobs})
+}
+
+// submitErrorCode maps submission failures: a draining server is 503,
+// anything else is the caller's request.
+func submitErrorCode(err error) int {
+	if errors.Is(err, ErrShuttingDown) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -163,33 +259,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// MetricsContentType is the Prometheus text exposition format version
+// this endpoint speaks.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// metric is one /metrics sample.
+type metric struct {
+	name string
+	val  uint64
+}
+
+func tierMetrics(tier string, tc store.TierCounters) []metric {
+	return []metric{
+		{"ndetectd_store_" + tier + "_hits_total", tc.Hits},
+		{"ndetectd_store_" + tier + "_misses_total", tc.Misses},
+		{"ndetectd_store_" + tier + "_evictions_total", tc.Evictions},
+		{"ndetectd_store_" + tier + "_bytes", uint64(tc.Bytes)},
+		{"ndetectd_store_" + tier + "_files", uint64(tc.Files)},
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	c := s.m.Counters()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, m := range []struct {
-		name string
-		val  uint64
-	}{
+	sc, _ := s.m.StoreCounters() // zeros when no store is configured
+	w.Header().Set("Content-Type", MetricsContentType)
+	metrics := []metric{
 		{"ndetectd_jobs_submitted_total", c.Submitted},
 		{"ndetectd_jobs_cache_hits_total", c.CacheHits},
+		{"ndetectd_jobs_store_hits_total", c.StoreHits},
 		{"ndetectd_jobs_coalesced_total", c.Coalesced},
 		{"ndetectd_jobs_computed_total", c.Computed},
 		{"ndetectd_jobs_completed_total", c.Completed},
 		{"ndetectd_jobs_failed_total", c.Failed},
+		{"ndetectd_sweeps_total", c.Sweeps},
 		{"ndetectd_jobs_queued", uint64(c.Queued)},
 		{"ndetectd_jobs_running", uint64(c.Running)},
 		{"ndetectd_workers_in_use", uint64(c.WorkersInUse)},
 		{"ndetectd_workers_total", uint64(c.WorkersTotal)},
 		{"ndetectd_cache_entries", uint64(c.CacheEntries)},
 		{"ndetectd_cache_capacity", uint64(c.CacheCapacity)},
-	} {
+		{"ndetectd_store_bytes", uint64(sc.Bytes)},
+	}
+	metrics = append(metrics, tierMetrics("results", sc.Results)...)
+	metrics = append(metrics, tierMetrics("universes", sc.Universes)...)
+	for _, m := range metrics {
 		fmt.Fprintf(w, "%s %d\n", m.name, m.val)
 	}
 }
 
 // loadSubmittedCircuit resolves the request's circuit: an embedded
 // benchmark by name, or inline source through the parser Format selects.
-func loadSubmittedCircuit(sub *SubmitRequest) (*circuit.Circuit, error) {
+func loadSubmittedCircuit(sub *CircuitRef) (*circuit.Circuit, error) {
 	switch {
 	case sub.Benchmark != "" && sub.Source == "":
 		if b, ok := bench.ByName(sub.Benchmark); ok {
@@ -232,25 +352,25 @@ func loadSubmittedCircuit(sub *SubmitRequest) (*circuit.Circuit, error) {
 	}
 }
 
-// analysisRequest maps the submitted kind + options onto the driver
+// analysisRequest maps a submitted kind + options onto the driver
 // request (normalized later by Submit).
-func analysisRequest(sub *SubmitRequest) (exp.AnalysisRequest, error) {
-	kind := exp.AnalysisKind(sub.Analysis)
-	if sub.Analysis == "" {
+func analysisRequest(analysis string, options report.Options) (exp.AnalysisRequest, error) {
+	kind := exp.AnalysisKind(analysis)
+	if analysis == "" {
 		kind = exp.WorstCaseAnalysis
 	}
 	switch kind {
 	case exp.WorstCaseAnalysis, exp.AverageAnalysis, exp.PartitionedAnalysis:
 	default:
-		return exp.AnalysisRequest{}, fmt.Errorf("unknown analysis %q (want worstcase, average or partitioned)", sub.Analysis)
+		return exp.AnalysisRequest{}, fmt.Errorf("unknown analysis %q (want worstcase, average or partitioned)", analysis)
 	}
 	return exp.AnalysisRequest{
 		Kind:       kind,
-		NMax:       sub.Options.NMax,
-		K:          sub.Options.K,
-		Seed:       sub.Options.Seed,
-		Definition: sub.Options.Definition,
-		Ge11Limit:  sub.Options.Ge11Limit,
-		MaxInputs:  sub.Options.MaxInputs,
+		NMax:       options.NMax,
+		K:          options.K,
+		Seed:       options.Seed,
+		Definition: options.Definition,
+		Ge11Limit:  options.Ge11Limit,
+		MaxInputs:  options.MaxInputs,
 	}, nil
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"ndetect/internal/circuit"
 	"ndetect/internal/exp"
 	"ndetect/internal/report"
+	"ndetect/internal/store"
 )
 
 const c17Source = `
@@ -264,5 +266,143 @@ func TestHTTPResultLifecycle(t *testing.T) {
 	body, code = getBody(t, ts.URL+"/jobs/"+fail.ID+"/result")
 	if code != http.StatusUnprocessableEntity || !strings.Contains(body, "deterministic failure") {
 		t.Fatalf("failed job result: HTTP %d: %s", code, body)
+	}
+}
+
+// POST /sweeps enqueues a variant grid over one circuit; every variant is
+// an ordinary job, individually pollable and individually cached.
+func TestHTTPSweep(t *testing.T) {
+	m := NewManager(Config{Workers: 4})
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	postSweep := func(body string) (SweepResponse, int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sw SweepResponse
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sw, resp.StatusCode
+	}
+
+	post := fmt.Sprintf(`{"format":"bench","name":"c17","source":%q,"sweep":"nmax=2;k=20;seed=1..2"}`, c17Source)
+	sw, code := postSweep(post)
+	if code != http.StatusAccepted || len(sw.Jobs) != 2 {
+		t.Fatalf("sweep submit: HTTP %d, %d jobs", code, len(sw.Jobs))
+	}
+	if sw.Jobs[0].ID == sw.Jobs[1].ID {
+		t.Fatal("distinct variants share a job ID")
+	}
+	for i, j := range sw.Jobs {
+		if pollDone(t, ts.URL, j.ID).State != JobDone {
+			t.Fatalf("variant %d failed", i)
+		}
+		body, code := getBody(t, ts.URL+"/jobs/"+j.ID+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("variant %d result: HTTP %d: %s", i, code, body)
+		}
+		// Byte-identity with the cold one-shot driver, per variant.
+		c, err := circuit.ParseBenchString("c17", c17Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := exp.AnalyzeCircuit(c, exp.AnalysisRequest{
+			Kind: exp.AverageAnalysis, NMax: 2, K: 20, Seed: int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal([]byte(body), direct.Encode()) {
+			t.Fatalf("variant %d differs from the cold driver run", i)
+		}
+	}
+
+	// A repeated sweep is all-cached: HTTP 200.
+	if again, code := postSweep(post); code != http.StatusOK || !again.Jobs[0].Cached || !again.Jobs[1].Cached {
+		t.Fatalf("repeat sweep: HTTP %d %+v", code, again.Jobs)
+	}
+
+	// Explicit variant lists work too, and mixed-kind grids are allowed.
+	explicit := fmt.Sprintf(`{"format":"bench","source":%q,"variants":[`+
+		`{"analysis":"worstcase"},`+
+		`{"analysis":"average","options":{"nmax":2,"k":20,"seed":1}}]}`, c17Source)
+	sw, code = postSweep(explicit)
+	if code != http.StatusAccepted || len(sw.Jobs) != 2 {
+		t.Fatalf("explicit variants: HTTP %d, %d jobs", code, len(sw.Jobs))
+	}
+	if !sw.Jobs[1].Cached {
+		t.Fatal("previously swept variant should be cached")
+	}
+	pollDone(t, ts.URL, sw.Jobs[0].ID)
+
+	for name, body := range map[string]string{
+		"no grid":     fmt.Sprintf(`{"format":"bench","source":%q}`, c17Source),
+		"both grids":  fmt.Sprintf(`{"format":"bench","source":%q,"sweep":"seed=1","variants":[{"analysis":"worstcase"}]}`, c17Source),
+		"bad spec":    fmt.Sprintf(`{"format":"bench","source":%q,"sweep":"warp=9"}`, c17Source),
+		"partitioned": fmt.Sprintf(`{"format":"bench","source":%q,"variants":[{"analysis":"partitioned"}]}`, c17Source),
+		"no circuit":  `{"sweep":"seed=1"}`,
+	} {
+		if _, code := postSweep(body); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, code)
+		}
+	}
+}
+
+// /metrics speaks the Prometheus text exposition content type and carries
+// the store tier counters.
+func TestHTTPMetricsFormat(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{Workers: 2, Store: st})
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("content type %q, want %q", ct, MetricsContentType)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ndetectd_sweeps_total 0",
+		"ndetectd_jobs_store_hits_total 0",
+		"ndetectd_store_bytes 0",
+		"ndetectd_store_results_hits_total 0",
+		"ndetectd_store_results_misses_total 0",
+		"ndetectd_store_results_evictions_total 0",
+		"ndetectd_store_universes_hits_total 0",
+		"ndetectd_store_universes_bytes 0",
+	} {
+		if !strings.Contains(string(b), want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, b)
+		}
+	}
+}
+
+// A draining server refuses new jobs with 503.
+func TestHTTPSubmitWhileDraining(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := postJob(t, ts.URL, `{"benchmark":"bbtas"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: HTTP %d, want 503", code)
 	}
 }

@@ -14,19 +14,29 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ndetect/internal/circuit"
 	"ndetect/internal/exp"
+	"ndetect/internal/ndetect"
 	"ndetect/internal/report"
 	"ndetect/internal/sim"
+	"ndetect/internal/store"
 )
 
 // DefaultCacheEntries bounds the result LRU when Config leaves it unset.
 const DefaultCacheEntries = 256
+
+// ErrShuttingDown is returned by Submit once Drain has begun: the server
+// finishes accepted work but takes no more.
+var ErrShuttingDown = errors.New("service: shutting down")
 
 // Config configures a Manager.
 type Config struct {
@@ -36,10 +46,20 @@ type Config struct {
 	Workers int
 	// CacheEntries bounds the result LRU (0 = DefaultCacheEntries).
 	CacheEntries int
+	// Store, when non-nil, persists completed results and universe
+	// artifacts across restarts (DESIGN.md §11): submits missing the
+	// in-memory LRU fall through to the disk result tier, and universe
+	// constructions load from / save to the universe tier. The manager
+	// never closes the store; its owner does.
+	Store *store.Store
 
 	// run computes one analysis; tests substitute it to observe and block
 	// the scheduler. nil = exp.AnalyzeCircuit.
 	run func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
+	// newUniverse constructs one exhaustive universe on a universe-tier
+	// miss; tests substitute it to count constructions. nil =
+	// ndetect.FromCircuitOptions.
+	newUniverse func(*circuit.Circuit, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
 }
 
 // JobState is a job's lifecycle phase.
@@ -84,10 +104,15 @@ type JobInfo struct {
 type Counters struct {
 	Submitted uint64 `json:"submitted"` // Submit calls
 	CacheHits uint64 `json:"cache_hits"`
+	// StoreHits counts submits answered from the disk result tier — warm
+	// hits that survived a restart or in-memory eviction. They also load
+	// the in-memory LRU, so a repeat is a plain CacheHit.
+	StoreHits uint64 `json:"store_hits"`
 	Coalesced uint64 `json:"coalesced"` // submits joined to an in-flight job
 	Computed  uint64 `json:"computed"`  // jobs actually enqueued (cache misses)
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
+	Sweeps    uint64 `json:"sweeps"` // SubmitSweep calls
 
 	Queued           int `json:"queued"`
 	Running          int `json:"running"`
@@ -105,26 +130,38 @@ type job struct {
 	info    JobInfo
 	circuit *circuit.Circuit
 	req     exp.AnalysisRequest
-	done    chan struct{}
-	result  []byte
-	err     error
+	// ukey is the universe-flight key the job holds a reference on while
+	// in flight ("" for kinds that build no exhaustive universe).
+	ukey   string
+	done   chan struct{}
+	result []byte
+	err    error
 }
 
 // Manager owns the job queue, the scheduler and the result cache.
 type Manager struct {
-	workers int
-	run     func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
+	workers     int
+	run         func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
+	newUniverse func(*circuit.Circuit, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
+	store       *store.Store
 
-	mu       sync.Mutex
-	inflight map[string]*job // queued or running, by ID
-	queue    []*job          // submission order
-	used     int             // inner worker grants currently out
-	cache    *resultCache
-	ctr      Counters
+	mu        sync.Mutex
+	closed    bool
+	inflight  map[string]*job // queued or running, by ID
+	queue     []*job          // submission order
+	used      int             // inner worker grants currently out
+	cache     *resultCache
+	universes map[string]*universeFlight // live universe sharing (universes.go)
+	ctr       Counters
+
+	// persist tracks in-progress disk writes so Drain can flush the store
+	// before the owner closes it.
+	persist sync.WaitGroup
 }
 
 // NewManager starts an empty manager. It spawns no goroutines until work
-// arrives; there is nothing to shut down beyond abandoning it.
+// arrives; there is nothing to shut down beyond abandoning it (or Drain
+// for a clean handoff).
 func NewManager(cfg Config) *Manager {
 	entries := cfg.CacheEntries
 	if entries <= 0 {
@@ -134,13 +171,20 @@ func NewManager(cfg Config) *Manager {
 	if run == nil {
 		run = exp.AnalyzeCircuit
 	}
+	newUniverse := cfg.newUniverse
+	if newUniverse == nil {
+		newUniverse = ndetect.FromCircuitOptions
+	}
 	w := sim.ResolveWorkers(cfg.Workers)
 	return &Manager{
-		workers:  w,
-		run:      run,
-		inflight: make(map[string]*job),
-		cache:    newResultCache(entries),
-		ctr:      Counters{WorkersTotal: w, CacheCapacity: entries},
+		workers:     w,
+		run:         run,
+		newUniverse: newUniverse,
+		store:       cfg.Store,
+		inflight:    make(map[string]*job),
+		cache:       newResultCache(entries),
+		universes:   make(map[string]*universeFlight),
+		ctr:         Counters{WorkersTotal: w, CacheCapacity: entries},
 	}
 }
 
@@ -159,34 +203,158 @@ func jobID(hash string, req *exp.AnalysisRequest) string {
 }
 
 // Submit registers an analysis request and returns its job snapshot.
-// cached reports that the result was already available (the returned info
-// is in a terminal state and Result will serve it immediately). An
-// in-flight identical request is joined, not recomputed: the returned ID
-// is the existing job's. The request's Workers and Progress fields are
-// ignored — the scheduler owns both.
+// cached reports that the result was already available — from the
+// in-memory LRU or, when a store is configured, the disk result tier (the
+// returned info is in a terminal state and Result will serve it
+// immediately). An in-flight identical request is joined, not recomputed:
+// the returned ID is the existing job's. The request's Workers, Progress
+// and Universes fields are ignored — the scheduler owns all three.
 func (m *Manager) Submit(c *circuit.Circuit, req exp.AnalysisRequest) (info JobInfo, cached bool, err error) {
 	if c == nil {
 		return JobInfo{}, false, fmt.Errorf("service: nil circuit")
 	}
-	req.Workers = 0
-	req.Progress = nil
-	if err := req.Normalize(); err != nil {
+	if err := normalizeSubmission(&req); err != nil {
 		return JobInfo{}, false, err
 	}
 	hash := circuit.Hash(c)
 	id := jobID(hash, &req)
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobInfo{}, false, ErrShuttingDown
+	}
 	m.ctr.Submitted++
+	if info, cached, done := m.fastPathLocked(id); done {
+		m.mu.Unlock()
+		return info, cached, nil
+	}
+	m.mu.Unlock()
 
+	// The disk result tier is consulted with the lock released: the store
+	// serializes itself, and a read (plus envelope decode) must not stall
+	// every status poll and progress callback on the server.
+	disk := m.fetchStoredResult(id)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.submitLocked(c, hash, id, req, disk)
+}
+
+// SubmitSweep registers a grid of result-identity option variants over
+// one circuit as individual jobs — every variant lands in the result
+// cache under its own job ID, exactly as if submitted alone — and returns
+// their snapshots in variant order. All variants are registered before
+// any job can retire, so the ones that miss every cache share one
+// exhaustive universe construction (the §11 universe flight): the sweep's
+// dominant cost is paid once, not once per variant. Partitioned variants
+// are rejected — they build per-part universes and have nothing to share.
+func (m *Manager) SubmitSweep(c *circuit.Circuit, variants []exp.AnalysisRequest) ([]SubmitResponse, error) {
+	if c == nil {
+		return nil, fmt.Errorf("service: nil circuit")
+	}
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("service: empty sweep")
+	}
+	norm := make([]exp.AnalysisRequest, len(variants))
+	for i, v := range variants {
+		if err := normalizeSubmission(&v); err != nil {
+			return nil, fmt.Errorf("service: sweep variant %d: %w", i, err)
+		}
+		if v.Kind == exp.PartitionedAnalysis {
+			return nil, fmt.Errorf("service: sweep variant %d: partitioned analyses cannot share an exhaustive universe", i)
+		}
+		norm[i] = v
+	}
+	hash := circuit.Hash(c)
+	ids := make([]string, len(norm))
+	for i := range norm {
+		ids[i] = jobID(hash, &norm[i])
+	}
+
+	// Pre-resolve the disk tier for the variants the in-memory state
+	// cannot answer, before the one lock acquisition that registers the
+	// whole batch (holding the lock across the batch is what guarantees
+	// all variants hold the universe flight before any job can retire).
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	var need []string
+	if m.store != nil {
+		for _, id := range ids {
+			if _, inMemory := m.cache.get(id); inMemory {
+				continue
+			}
+			if _, inFlight := m.inflight[id]; inFlight {
+				continue
+			}
+			need = append(need, id)
+		}
+	}
+	m.mu.Unlock()
+	disk := make(map[string]*cacheEntry, len(need))
+	for _, id := range need {
+		if e := m.fetchStoredResult(id); e != nil {
+			disk[id] = e
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctr.Sweeps++
+	m.ctr.Submitted += uint64(len(norm))
+	out := make([]SubmitResponse, len(norm))
+	for i, v := range norm {
+		info, cached, err := m.submitLocked(c, hash, ids[i], v, disk[ids[i]])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = SubmitResponse{JobInfo: info, Cached: cached}
+	}
+	return out, nil
+}
+
+// normalizeSubmission strips the scheduler-owned fields and fills option
+// defaults, so the request carries exactly its result identity.
+func normalizeSubmission(req *exp.AnalysisRequest) error {
+	req.Workers = 0
+	req.Progress = nil
+	req.Universes = nil
+	return req.Normalize()
+}
+
+// fastPathLocked answers a submission from in-memory state alone: a
+// memory cache hit or an in-flight coalesce. done is false when the
+// caller must go on to the disk tier and job creation. Callers hold m.mu.
+func (m *Manager) fastPathLocked(id string) (info JobInfo, cached bool, done bool) {
 	if e, ok := m.cache.get(id); ok {
 		m.ctr.CacheHits++
-		return e.info, true, nil
+		return e.info, true, true
 	}
 	if j, ok := m.inflight[id]; ok {
 		m.ctr.Coalesced++
-		return j.info, false, nil
+		return j.info, false, true
+	}
+	return JobInfo{}, false, false
+}
+
+// submitLocked registers one submission under m.mu: the in-memory fast
+// path is re-checked (the lock was released around the disk read, so an
+// identical request may have landed), then the pre-fetched disk entry is
+// installed, then a new job is created. disk may be nil.
+func (m *Manager) submitLocked(c *circuit.Circuit, hash, id string, req exp.AnalysisRequest, disk *cacheEntry) (info JobInfo, cached bool, err error) {
+	if m.closed {
+		return JobInfo{}, false, ErrShuttingDown
+	}
+	if info, cached, done := m.fastPathLocked(id); done {
+		return info, cached, nil
+	}
+	if disk != nil {
+		m.ctr.StoreHits++
+		m.cache.add(disk)
+		return disk.info, true, nil
 	}
 
 	m.ctr.Computed++
@@ -203,10 +371,33 @@ func (m *Manager) Submit(c *circuit.Circuit, req exp.AnalysisRequest) (info JobI
 		req:     req,
 		done:    make(chan struct{}),
 	}
+	if req.Kind != exp.PartitionedAnalysis {
+		j.ukey = hash
+		m.acquireUniverseLocked(j.ukey)
+	}
 	m.inflight[id] = j
 	m.queue = append(m.queue, j)
 	m.dispatchLocked()
 	return j.info, false, nil
+}
+
+// fetchStoredResult reads the disk result tier (no manager lock held —
+// the store locks itself). nil on a miss, on malformed metadata, or when
+// no store is configured; the caller installs a hit into the LRU under
+// m.mu so repeats are plain memory hits.
+func (m *Manager) fetchStoredResult(id string) *cacheEntry {
+	if m.store == nil {
+		return nil
+	}
+	meta, body, ok := m.store.GetResult(id)
+	if !ok {
+		return nil
+	}
+	var info JobInfo
+	if err := json.Unmarshal(meta, &info); err != nil || info.State != JobDone || info.ID != id {
+		return nil // stale or foreign metadata: recompute honestly
+	}
+	return &cacheEntry{id: id, info: info, result: body}
 }
 
 // dispatchLocked starts queued jobs while worker budget remains: each
@@ -238,7 +429,8 @@ func (m *Manager) dispatchLocked() {
 
 // runJob computes one job and retires it: the result (success or
 // deterministic failure — analyses have no transient errors) moves into
-// the LRU, the budget returns to the pool, and waiters are released.
+// the LRU and, for successes, the disk result tier; the budget returns to
+// the pool, and waiters are released.
 func (m *Manager) runJob(j *job, grant int) {
 	req := j.req
 	req.Workers = grant
@@ -246,6 +438,9 @@ func (m *Manager) runJob(j *job, grant int) {
 		m.mu.Lock()
 		j.info.Progress = ProgressInfo{Stage: stage, Done: done, Total: total}
 		m.mu.Unlock()
+	}
+	if j.ukey != "" {
+		req.Universes = &managerUniverses{m: m, key: j.ukey}
 	}
 	doc, err := m.run(j.circuit, req)
 	var encoded []byte
@@ -268,10 +463,64 @@ func (m *Manager) runJob(j *job, grant int) {
 		m.ctr.Completed++
 	}
 	m.cache.add(&cacheEntry{id: j.info.ID, info: j.info, result: encoded})
+	if j.ukey != "" {
+		m.releaseUniverseLocked(j.ukey)
+	}
+	persistInfo := j.info
+	persist := err == nil && m.store != nil
+	if persist {
+		m.persist.Add(1) // before the job leaves inflight's drain view
+	}
 	j.circuit = nil // the parsed netlist is no longer needed; let it go
 	m.dispatchLocked()
 	m.mu.Unlock()
+
+	if persist {
+		// Failures stay in-memory only: a deterministic failure recomputes
+		// identically, and persisting it would just pin a dead slot.
+		if meta, merr := json.Marshal(persistInfo); merr == nil {
+			m.store.PutResult(persistInfo.ID, meta, encoded) // best effort
+		}
+		m.persist.Done()
+	}
 	close(j.done)
+}
+
+// Drain begins a graceful shutdown: new submissions fail with
+// ErrShuttingDown, every accepted job (queued or running) completes, and
+// pending store writes flush. It returns nil once the manager is idle, or
+// the context error if the deadline expires first (abandoned jobs are
+// pure recomputable functions — nothing is lost, only uncached).
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	for {
+		m.mu.Lock()
+		n := len(m.inflight)
+		m.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// The persist flush honors the same deadline: a store write stalled on
+	// a dead disk must not hold shutdown past the drain budget.
+	flushed := make(chan struct{})
+	go func() {
+		m.persist.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Status returns the current snapshot of a job: in-flight, or completed
@@ -327,6 +576,15 @@ func (m *Manager) Wait(id string) ([]byte, error) {
 		return nil, j.err
 	}
 	return j.result, nil
+}
+
+// StoreCounters returns the persistent store's tier counters; ok is
+// false (with zero counters) when no store is configured.
+func (m *Manager) StoreCounters() (store.Counters, bool) {
+	if m.store == nil {
+		return store.Counters{}, false
+	}
+	return m.store.Counters(), true
 }
 
 // Counters returns a snapshot of the monitoring counters.

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ndetect/internal/bitset"
+	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
+	"ndetect/internal/ndetect"
+)
+
+// The universe artifact codec: a versioned binary serialization of the
+// exhaustive analysis intermediate — the fault tables and per-fault
+// detection bitsets of DESIGN.md §11's universe tier. The circuit itself
+// is NOT serialized: an artifact is keyed by the canonical circuit hash,
+// so the decoder always has the canonical circuit in hand and rebuilds
+// fault names and universe size from it. That keeps artifacts compact and
+// guarantees a decoded universe is assembled by the exact code path a
+// fresh construction uses (ndetect.AssembleUniverse).
+//
+// Layout (all integers little-endian, no padding):
+//
+//	magic   "NDUV"
+//	version uint16                        (bump on incompatible change)
+//	size    uint64                        |U| — must match the circuit
+//	nT, nG  uint32, uint32                target / untargeted counts
+//	targets nT × {node uint32, value u8}  stuck-at table
+//	bridges nG × {dom, vic uint32, value u8}
+//	tsets   (nT+nG) × words               words = ⌈size/64⌉ uint64 each,
+//	                                      targets first, table order
+//	crc     uint32                        IEEE CRC-32 of everything above
+//
+// Every decode error is ErrBadArtifact-wrapped so callers can distinguish
+// "stale or corrupt artifact, rebuild it" from real failures.
+
+// universeMagic identifies a universe artifact file.
+const universeMagic = "NDUV"
+
+// UniverseCodecVersion is the current artifact layout version. Decoders
+// reject other versions, which readers treat as a cache miss — stale
+// artifacts are rebuilt, never migrated.
+const UniverseCodecVersion = 1
+
+// ErrBadArtifact wraps every decode failure: wrong magic, wrong version,
+// truncation, checksum mismatch, or inconsistency with the circuit the
+// artifact claims to describe.
+var ErrBadArtifact = fmt.Errorf("store: bad universe artifact")
+
+func badArtifact(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadArtifact, fmt.Sprintf(format, args...))
+}
+
+// EncodeUniverse serializes a universe's fault tables and T-sets.
+func EncodeUniverse(u *ndetect.CircuitUniverse) []byte {
+	words := (u.Size + 63) / 64
+	n := 4 + 2 + 8 + 4 + 4 + 5*len(u.StuckAt) + 9*len(u.Bridges) +
+		8*words*(len(u.StuckAt)+len(u.Bridges)) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, universeMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, UniverseCodecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.Size))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.StuckAt)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Bridges)))
+	for _, f := range u.StuckAt {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Node))
+		buf = append(buf, boolByte(f.Value))
+	}
+	for _, g := range u.Bridges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Dominant))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Victim))
+		buf = append(buf, boolByte(g.Value))
+	}
+	for _, f := range u.Targets {
+		for _, w := range f.T.Words() {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	for _, g := range u.Untargeted {
+		for _, w := range g.T.Words() {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeUniverse rebuilds a universe for the given canonical circuit from
+// an encoded artifact. The circuit must be the one the artifact was built
+// from (same canonical hash); size and node-ID consistency are verified,
+// and any mismatch, truncation or corruption returns an
+// ErrBadArtifact-wrapped error.
+func DecodeUniverse(c *circuit.Circuit, data []byte) (*ndetect.CircuitUniverse, error) {
+	if len(data) < 4+2+8+4+4+4 {
+		return nil, badArtifact("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != universeMagic {
+		return nil, badArtifact("wrong magic %q", data[:4])
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, badArtifact("checksum mismatch")
+	}
+	r := reader{buf: body[4:]}
+	if v := r.u16(); v != UniverseCodecVersion {
+		return nil, badArtifact("version %d (want %d)", v, UniverseCodecVersion)
+	}
+	size := int(r.u64())
+	if size != c.VectorSpaceSize() || size <= 0 {
+		return nil, badArtifact("universe size %d does not match circuit (|U| = %d)", size, c.VectorSpaceSize())
+	}
+	nT, nG := int(r.u32()), int(r.u32())
+	words := (size + 63) / 64
+	need := 5*nT + 9*nG + 8*words*(nT+nG)
+	if len(r.buf)-r.off != need {
+		return nil, badArtifact("payload is %d bytes, want %d", len(r.buf)-r.off, need)
+	}
+
+	nodes := c.NumNodes()
+	sas := make([]fault.StuckAt, nT)
+	for i := range sas {
+		node := int(r.u32())
+		if node < 0 || node >= nodes {
+			return nil, badArtifact("stuck-at %d names node %d of %d", i, node, nodes)
+		}
+		sas[i] = fault.StuckAt{Node: node, Value: r.u8() != 0}
+	}
+	brs := make([]fault.Bridge, nG)
+	for i := range brs {
+		dom, vic := int(r.u32()), int(r.u32())
+		if dom < 0 || dom >= nodes || vic < 0 || vic >= nodes {
+			return nil, badArtifact("bridge %d names nodes (%d,%d) of %d", i, dom, vic, nodes)
+		}
+		brs[i] = fault.Bridge{Dominant: dom, Victim: vic, Value: r.u8() != 0}
+	}
+	readSets := func(n int) []*bitset.Set {
+		sets := make([]*bitset.Set, n)
+		for i := range sets {
+			s := bitset.New(size)
+			for w := 0; w < words; w++ {
+				s.SetWord(w, r.u64())
+			}
+			sets[i] = s
+		}
+		return sets
+	}
+	saT := readSets(nT)
+	brT := readSets(nG)
+	return ndetect.AssembleUniverse(c, sas, brs, saT, brT), nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// reader is a tiny cursor over a length-prechecked buffer (DecodeUniverse
+// validates the total length before any field reads).
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() byte { b := r.buf[r.off]; r.off++; return b }
+func (r *reader) u16() uint16 {
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+func (r *reader) u32() uint32 {
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/ndetect"
+)
+
+func c17Universe(t *testing.T) (*circuit.Circuit, *ndetect.CircuitUniverse) {
+	t.Helper()
+	raw, err := circuit.EmbeddedBench("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := circuit.Canonicalize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := ndetect.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, u
+}
+
+// A decoded universe must be indistinguishable from the one that was
+// encoded: same fault tables, names, and T-sets, in the same order —
+// that is what makes analyses over it byte-identical to cold runs.
+func TestUniverseCodecRoundTrip(t *testing.T) {
+	c, u := c17Universe(t)
+	got, err := DecodeUniverse(c, EncodeUniverse(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != u.Size {
+		t.Fatalf("size %d, want %d", got.Size, u.Size)
+	}
+	if len(got.Targets) != len(u.Targets) || len(got.Untargeted) != len(u.Untargeted) {
+		t.Fatalf("counts (%d,%d), want (%d,%d)",
+			len(got.Targets), len(got.Untargeted), len(u.Targets), len(u.Untargeted))
+	}
+	for i := range u.Targets {
+		if got.StuckAt[i] != u.StuckAt[i] {
+			t.Fatalf("stuck-at %d: %+v != %+v", i, got.StuckAt[i], u.StuckAt[i])
+		}
+		if got.Targets[i].Name != u.Targets[i].Name || !got.Targets[i].T.Equal(u.Targets[i].T) {
+			t.Fatalf("target %d differs", i)
+		}
+	}
+	for i := range u.Untargeted {
+		if got.Bridges[i] != u.Bridges[i] {
+			t.Fatalf("bridge %d: %+v != %+v", i, got.Bridges[i], u.Bridges[i])
+		}
+		if got.Untargeted[i].Name != u.Untargeted[i].Name || !got.Untargeted[i].T.Equal(u.Untargeted[i].T) {
+			t.Fatalf("untargeted %d differs", i)
+		}
+	}
+	if got.Circuit != c {
+		t.Fatal("decoded universe must bind the caller's circuit")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corruption, truncation, version skew and circuit mismatch are all
+// ErrBadArtifact — a reader's signal to rebuild, never to trust.
+func TestUniverseCodecRejects(t *testing.T) {
+	c, u := c17Universe(t)
+	good := EncodeUniverse(u)
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	short := good[:len(good)-9]
+	badMagic := append([]byte("XXXX"), good[4:]...)
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 99 // version field; breaks the checksum too, either way rejected
+
+	for name, data := range map[string][]byte{
+		"corrupt": flipped, "truncated": short, "magic": badMagic,
+		"version": badVersion, "empty": nil,
+	} {
+		if _, err := DecodeUniverse(c, data); !errors.Is(err, ErrBadArtifact) {
+			t.Fatalf("%s: err = %v, want ErrBadArtifact", name, err)
+		}
+	}
+
+	// An artifact for a different circuit (different |U|) must not bind.
+	other, err := circuit.EmbeddedBench("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.VectorSpaceSize() != c.VectorSpaceSize() {
+		if _, err := DecodeUniverse(other, good); !errors.Is(err, ErrBadArtifact) {
+			t.Fatalf("wrong circuit: err = %v, want ErrBadArtifact", err)
+		}
+	}
+}

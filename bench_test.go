@@ -252,7 +252,7 @@ func BenchmarkEngineStream(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	faults := u.StuckAt
+	faults := u.StuckAt()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e, err := sim.Run(c)
@@ -260,6 +260,25 @@ func BenchmarkEngineStream(b *testing.B) {
 			b.Fatal(err)
 		}
 		e.StuckAtTSets(faults)
+	}
+}
+
+// BenchmarkTransitionTSets measures the transition-model universe build
+// end to end: stream the single-vector launch/initialization factors, then
+// lift every T-set into the |U|² pair space by outer product. Compare
+// against BenchmarkEngineStream on the same circuit for the cost of the
+// pair-space lift itself — no pair-space simulation ever runs.
+func BenchmarkTransitionTSets(b *testing.B) {
+	c := mustCircuit(b, "bbtas")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := AnalyzeModel(c, "transition", AnalyzeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(u.Untargeted) == 0 {
+			b.Fatal("no transition faults kept")
+		}
 	}
 }
 
@@ -310,7 +329,7 @@ func allStuckAt(c *Circuit) []StuckAt {
 	if err != nil {
 		panic(err)
 	}
-	return u.StuckAt
+	return u.StuckAt()
 }
 
 // BenchmarkProcedure1Def1 measures random test set construction under plain

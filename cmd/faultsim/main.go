@@ -119,6 +119,8 @@ func main() {
 	}
 	fmt.Printf("stuck-at (collapsed): %d/%d detectable faults detected (%.2f%%)\n",
 		saDet, saDetectable, pct(saDet, saDetectable))
+	fmt.Printf("collapse ratio:       %.3f (equivalence collapsing kept %d targets)\n",
+		ndetect.StuckAtCollapseRatio(c), len(u.Targets))
 
 	brDet := 0
 	for _, g := range u.Untargeted {

@@ -39,9 +39,18 @@
 // the same persistent artifact store ndetectd uses, so repeated runs over
 // one circuit skip simulation and T-set construction.
 //
+// -fault-model ID swaps the paper's stuck-at + bridging setup for another
+// registered fault model (DESIGN.md §12): "transition" analyses gross-delay
+// transition faults over two-pattern tests (the universe indexes ordered
+// vector pairs), "msa2" analyses pairwise double stuck-at faults. The model
+// is part of the result identity, so -json documents, job IDs and universe
+// artifacts are all model-tagged.
+//
 // Examples:
 //
 //	ndetect -bench bbara
+//	ndetect -bench bbtas -fault-model transition
+//	ndetect -bench bbtas -fault-model msa2 -json
 //	ndetect -bench bbtas -json
 //	ndetect -bench dvram -hist 100
 //	ndetect -netlist adder.net -avg -k 500
@@ -65,6 +74,7 @@ import (
 	"ndetect/internal/bench"
 	"ndetect/internal/circuit"
 	"ndetect/internal/exp"
+	"ndetect/internal/fault"
 	"ndetect/internal/kiss"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/partition"
@@ -88,6 +98,7 @@ func main() {
 		histF    = flag.Int("hist", 0, "print the nmin histogram from this cutoff (0 = off)")
 		worstF   = flag.Int("worst", 10, "show the hardest N untargeted faults")
 		partF    = flag.Int("partition", 0, "partition into ≤N-input cones before analysis (0 = off)")
+		modelF   = flag.String("fault-model", "", `fault model for the analysis: "" = the default (collapsed stuck-at targets, four-way bridging untargeted faults), or a registered model like "transition" (two-pattern delay faults) or "msa2" (pairwise double stuck-at); part of the result identity (DESIGN.md §12)`)
 		jsonF    = flag.Bool("json", false, "emit the machine-readable analysis document instead of text (byte-identical to the ndetectd server's result for the same circuit and options)")
 		sweepF   = flag.String("sweep", "", `run a grid of option variants over one shared universe and print each variant's JSON document, e.g. "nmax=10;k=1000;seed=1..5;def=1,2" (DESIGN.md §11)`)
 		storeF   = flag.String("store-dir", "", "persistent artifact store for -json/-sweep universe reuse (same layout as ndetectd's; DESIGN.md §11)")
@@ -149,6 +160,17 @@ func main() {
 		fail(err)
 	}
 
+	// Resolve the fault model up front so an unknown ID fails before any
+	// simulation. The partitioned pipeline is stuck-at-only (it merges
+	// per-part nmin over bridge names), so it rejects a model override.
+	model, err := fault.Resolve(*modelF)
+	if err != nil {
+		fail(fmt.Errorf("%v (registered models: %s)", err, strings.Join(fault.ModelIDs(), " ")))
+	}
+	if *modelF != "" && *partF > 0 {
+		fail(fmt.Errorf("-fault-model does not combine with -partition (the partitioned pipeline is fixed to the default model)"))
+	}
+
 	// The artifact store backs -json and -sweep only: those paths analyze
 	// the canonical circuit, which is what universe artifacts are keyed
 	// and node-indexed by. The text report analyzes the circuit as parsed,
@@ -172,6 +194,21 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *modelF != "" {
+			// The flag sets one model for the whole grid; a grid that also
+			// crosses models must say so in the spec alone.
+			for _, field := range strings.Split(*sweepF, ";") {
+				if key, _, _ := strings.Cut(strings.TrimSpace(field), "="); strings.TrimSpace(key) == "model" {
+					fail(fmt.Errorf("-fault-model conflicts with a model= axis in -sweep; use one or the other"))
+				}
+			}
+			for i := range variants {
+				variants[i].FaultModel = *modelF
+				if err := variants[i].Normalize(); err != nil {
+					fail(err)
+				}
+			}
+		}
 		docs, err := exp.Sweep(c, variants, exp.SweepOptions{Workers: *workersF, Universes: universes})
 		if err != nil {
 			fail(err)
@@ -187,7 +224,7 @@ func main() {
 	if *jsonF {
 		// One shared driver behind -json and the ndetectd server: same
 		// circuit + options → byte-identical documents (DESIGN.md §10).
-		req := exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis, Workers: *workersF, Universes: universes}
+		req := exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis, FaultModel: *modelF, Workers: *workersF, Universes: universes}
 		switch {
 		case *partF > 0:
 			req.Kind = exp.PartitionedAnalysis
@@ -217,15 +254,20 @@ func main() {
 		return
 	}
 
-	u, err := ndetect.FromCircuitWorkers(c, *workersF)
+	u, err := ndetect.BuildUniverse(c, model, ndetect.AnalyzeOptions{Workers: *workersF})
 	if err != nil {
 		fail(err)
 	}
 	stats := c.ComputeStats()
 	fmt.Printf("circuit %s: %s\n", c.Name, stats)
-	fmt.Printf("targets |F| = %d collapsed stuck-at faults (%d detectable)\n",
-		len(u.Targets), u.DetectableTargets())
-	fmt.Printf("untargeted |G| = %d detectable non-feedback four-way bridging faults\n\n", len(u.Untargeted))
+	if model.ID() != fault.DefaultModelID {
+		// The default model's output predates the registry and stays byte
+		// identical; non-default models announce themselves.
+		fmt.Printf("fault model: %s\n", model.ID())
+	}
+	fmt.Printf("targets |F| = %d %s (%d detectable)\n",
+		len(u.Targets), model.Provider(fault.TargetSet).Label(), u.DetectableTargets())
+	fmt.Printf("untargeted |G| = %d %s\n\n", len(u.Untargeted), model.Provider(fault.UntargetedSet).Label())
 
 	wc := ndetect.WorstCaseWorkers(&u.Universe, *workersF)
 	fmt.Println("worst-case analysis (Section 2):")
@@ -358,6 +400,9 @@ func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax
 	opts := ndetect.Procedure1Options{NMax: nmax, K: k, Seed: seed, Workers: workers}
 	label := "Definition 1"
 	if def2 {
+		if !u.Model.Def2Capable() {
+			fail(fmt.Errorf("-def2 requires single stuck-at targets, which fault model %s does not have", u.Model.ID()))
+		}
 		opts.Definition = ndetect.Def2
 		opts.Checker = ndetect.NewCircuitCheckerFor(u)
 		label = "Definition 2"

@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"ndetect/internal/fault"
 	"ndetect/internal/service"
 	"ndetect/internal/sim"
 	"ndetect/internal/store"
@@ -56,12 +57,16 @@ func main() {
 		cacheF    = flag.Int("cache", service.DefaultCacheEntries, "result cache capacity (LRU entries)")
 		storeF    = flag.String("store-dir", "", "persistent artifact store directory (empty = in-memory caches only; DESIGN.md §11)")
 		storeMaxF = flag.Int64("store-max-bytes", 0, "artifact store size bound in bytes (0 = default 1 GiB; LRU eviction)")
+		modelF    = flag.String("fault-model", "", `fault model filled into submissions that name none ("" = the stuck-at + bridging default); requests carrying their own options.fault_model are unaffected (DESIGN.md §12)`)
 		drainF    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight analyses")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-drain 30s]")
+		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-fault-model ID] [-drain 30s]")
 		os.Exit(2)
+	}
+	if _, err := fault.Resolve(*modelF); err != nil {
+		log.Fatalf("ndetectd: %v (registered models: %v)", err, fault.ModelIDs())
 	}
 
 	var st *store.Store
@@ -72,7 +77,10 @@ func main() {
 		}
 	}
 
-	m := service.NewManager(service.Config{Workers: *workersF, CacheEntries: *cacheF, Store: st})
+	m := service.NewManager(service.Config{
+		Workers: *workersF, CacheEntries: *cacheF, Store: st,
+		DefaultFaultModel: *modelF,
+	})
 	srv := &http.Server{
 		Addr:              *addrF,
 		Handler:           service.NewServer(m).Handler(),

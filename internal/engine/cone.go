@@ -13,7 +13,12 @@ import "fmt"
 // the words where any reachable output disagrees with the good machine are
 // exactly the line's flip-propagation mask for that block.
 type ConeProgram struct {
-	Site    int
+	Site int
+	// Sites lists every fault site of the cone in faulty-bank register
+	// order: register i belongs to Sites[i]. Single-site cones (CompileCone)
+	// have Sites = [Site]; multi-site cones (CompileCones) seed each site
+	// register with a forced constant via RunForced.
+	Sites   []int
 	Instrs  []Instr
 	NumRegs int
 	// Outputs pairs, for every primary output reachable from the site, the
@@ -31,17 +36,38 @@ type ConeOut struct {
 // program's register file. The program must come from CompileAll, so every
 // side input the cone reads is materialized.
 func (p *Program) CompileCone(site int) *ConeProgram {
-	p.mustKeepAll("CompileCone")
-	c := p.Circuit
-	inCone := c.TransitiveFanout(site)
+	return p.CompileCones([]int{site})
+}
 
-	cp := &ConeProgram{Site: site}
+// CompileCones lowers the union of several sites' fanout cones into one
+// program: the faulty bank reserves registers 0..len(sites)-1 for the
+// sites themselves (seeded by Run or RunForced), every downstream node in
+// any site's cone is recomputed, and side inputs outside every cone read
+// from the good bank. This is the kernel of multiple-fault analysis: force
+// all sites at once, replay the union cone, compare reachable outputs.
+func (p *Program) CompileCones(sites []int) *ConeProgram {
+	p.mustKeepAll("CompileCones")
+	c := p.Circuit
+	inCone := make([]bool, c.NumNodes())
+	for _, s := range sites {
+		for id, in := range c.TransitiveFanout(s) {
+			if in {
+				inCone[id] = true
+			}
+		}
+	}
+
+	cp := &ConeProgram{Site: sites[0], Sites: append([]int(nil), sites...)}
 	badReg := make([]int32, c.NumNodes())
 	for i := range badReg {
 		badReg[i] = -1
 	}
-	badReg[site] = 0
-	next := int32(1)
+	isSite := make([]bool, c.NumNodes())
+	for i, s := range sites {
+		badReg[s] = int32(i)
+		isSite[s] = true
+	}
+	next := int32(len(sites))
 	regOf := func(f int) int32 {
 		if badReg[f] >= 0 {
 			return badReg[f]
@@ -49,7 +75,7 @@ func (p *Program) CompileCone(site int) *ConeProgram {
 		return ^p.NodeReg[f] // good bank
 	}
 	for _, id := range c.LevelOrder() {
-		if !inCone[id] || id == site {
+		if !inCone[id] || isSite[id] {
 			continue
 		}
 		dst := next
@@ -85,6 +111,41 @@ func NewConeExec(blockWords int) *ConeExec {
 // with the flipped good value, then every cone instruction executes,
 // reading good-bank operands from x.
 func (cx *ConeExec) Run(cp *ConeProgram, x *Exec) {
+	cx.bind(cp, x)
+	site := x.Node(cp.Site)
+	dst := cx.reg(0)
+	for w := range dst {
+		dst[w] = ^site[w]
+	}
+	cx.exec(cp, x)
+}
+
+// RunForced replays the cone with every site register held at a constant:
+// vals[i] is the value forced onto cp.Sites[i] across the whole block.
+// Comparing reachable outputs against the good machine afterwards (OrProp)
+// yields exactly the vectors at which the multiple stuck-at fault
+// {Sites[i] stuck at vals[i]} is detected — activation is implicit in the
+// output comparison.
+func (cx *ConeExec) RunForced(cp *ConeProgram, x *Exec, vals []bool) {
+	if len(vals) != len(cp.Sites) {
+		panic(fmt.Sprintf("engine: %d forced values for %d sites", len(vals), len(cp.Sites)))
+	}
+	cx.bind(cp, x)
+	for i, v := range vals {
+		fill := uint64(0)
+		if v {
+			fill = ^uint64(0)
+		}
+		dst := cx.reg(int32(i))
+		for w := range dst {
+			dst[w] = fill
+		}
+	}
+	cx.exec(cp, x)
+}
+
+// bind sizes the faulty bank for cp over x's current block.
+func (cx *ConeExec) bind(cp *ConeProgram, x *Exec) {
 	if x.cap != cx.cap {
 		panic(fmt.Sprintf("engine: cone block capacity %d != exec capacity %d", cx.cap, x.cap))
 	}
@@ -92,11 +153,10 @@ func (cx *ConeExec) Run(cp *ConeProgram, x *Exec) {
 	if need := cp.NumRegs * cx.cap; len(cx.regs) < need {
 		cx.regs = make([]uint64, need)
 	}
-	site := x.Node(cp.Site)
-	dst := cx.reg(0)
-	for w := range dst {
-		dst[w] = ^site[w]
-	}
+}
+
+// exec interprets the cone instructions against the seeded site registers.
+func (cx *ConeExec) exec(cp *ConeProgram, x *Exec) {
 	for _, ins := range cp.Instrs {
 		dst := cx.reg(ins.Dst)
 		switch ins.Op {

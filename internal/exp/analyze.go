@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/partition"
 	"ndetect/internal/report"
@@ -36,10 +37,19 @@ const (
 )
 
 // AnalysisRequest describes one single-circuit analysis. The identity
-// fields (Kind, NMax, K, Seed, Definition, Ge11Limit, MaxInputs) select
-// the result; Workers and Progress never influence it (DESIGN.md §7).
+// fields (Kind, FaultModel, NMax, K, Seed, Definition, Ge11Limit,
+// MaxInputs) select the result; Workers and Progress never influence it
+// (DESIGN.md §7).
 type AnalysisRequest struct {
 	Kind AnalysisKind
+
+	// FaultModel selects the registered fault model the universe is built
+	// under (fault.Resolve); empty means the default model, and Normalize
+	// canonicalizes an explicit default ID to empty so the two spellings
+	// share one identity. Worst-case and average analyses accept any
+	// registered model (Definition 2 additionally requires stuck-at
+	// targets); the partitioned pipeline is default-model only.
+	FaultModel string
 
 	// Average-case identity options (used when Kind is AverageAnalysis).
 	NMax       int   // deepest n-detection level (default 10)
@@ -60,29 +70,42 @@ type AnalysisRequest struct {
 	// Universes, when non-nil, supplies the exhaustive universe instead
 	// of constructing it per request — the hook behind the artifact
 	// store's universe tier and the sweep engine's sharing (DESIGN.md
-	// §11). A source must return exactly what ndetect.FromCircuitOptions
-	// would build for the canonical circuit, which is why substituting
-	// one never changes result bytes; it is not part of the result
-	// identity. Ignored by the partitioned analysis (per-part universes
-	// are constructed inside the pipeline).
+	// §11). A source must return exactly what ndetect.BuildUniverse
+	// would build for the canonical circuit and model, which is why
+	// substituting one never changes result bytes; it is not part of the
+	// result identity. Ignored by the partitioned analysis (per-part
+	// universes are constructed inside the pipeline).
 	Universes UniverseSource
 }
 
-// UniverseSource supplies the exhaustive universe of a canonical circuit:
-// T(f)/T(g) bitsets and fault tables, the dominant cost every
-// result-identity option variant shares. Implementations load it from the
-// artifact store, memoize it across a sweep, or both; store.Store is one.
-// opts carries the caller's worker budget and progress hook — a source
-// that does construct must thread them through, and the universe returned
-// must be identical for every opts value (§7).
+// UniverseSource supplies the exhaustive universe of a canonical circuit
+// under a fault model: T(f)/T(g) bitsets and fault tables, the dominant
+// cost every result-identity option variant shares. Implementations load
+// it from the artifact store, memoize it across a sweep, or both;
+// store.Store is one. opts carries the caller's worker budget and
+// progress hook — a source that does construct must thread them through,
+// and the universe returned must be identical for every opts value (§7).
 type UniverseSource interface {
-	Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
+	Universe(c *circuit.Circuit, m fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
 }
 
 // Normalize fills defaults and zeroes the fields the kind ignores, so that
 // two requests for the same result compare (and cache-key) equal. It
 // errors on an unknown kind or definition.
 func (r *AnalysisRequest) Normalize() error {
+	m, err := fault.Resolve(r.FaultModel)
+	if err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	// Canonical spelling: the default model is the empty string, so an
+	// explicit "stuckat+bridge4" and an omitted model share one identity
+	// (and default-model documents stay byte-identical to pre-registry
+	// ones — fault_model is omitempty).
+	if m.ID() == fault.DefaultModelID {
+		r.FaultModel = ""
+	} else {
+		r.FaultModel = m.ID()
+	}
 	switch r.Kind {
 	case WorstCaseAnalysis:
 		r.NMax, r.K, r.Seed, r.Definition, r.Ge11Limit, r.MaxInputs = 0, 0, 0, 0, 0, 0
@@ -102,11 +125,17 @@ func (r *AnalysisRequest) Normalize() error {
 		if r.Definition != int(ndetect.Def1) && r.Definition != int(ndetect.Def2) {
 			return fmt.Errorf("exp: unknown definition %d (want 1 or 2)", r.Definition)
 		}
+		if r.Definition == int(ndetect.Def2) && !m.Def2Capable() {
+			return fmt.Errorf("exp: definition 2 requires single stuck-at targets, which fault model %s does not have", m.ID())
+		}
 		if r.Ge11Limit < 0 {
 			r.Ge11Limit = 0
 		}
 		r.MaxInputs = 0
 	case PartitionedAnalysis:
+		if r.FaultModel != "" {
+			return fmt.Errorf("exp: the partitioned analysis supports only the default fault model, not %s", r.FaultModel)
+		}
 		if r.MaxInputs <= 0 {
 			r.MaxInputs = partition.DefaultMaxInputs
 		}
@@ -121,6 +150,7 @@ func (r *AnalysisRequest) Normalize() error {
 // the emitted document (and in the serving layer's cache key).
 func (r *AnalysisRequest) IdentityOptions() report.Options {
 	return report.Options{
+		FaultModel: r.FaultModel,
 		NMax:       r.NMax,
 		K:          r.K,
 		Seed:       r.Seed,
@@ -172,12 +202,16 @@ func AnalyzeCircuit(c *circuit.Circuit, req AnalysisRequest) (*report.Analysis, 
 		return doc, nil
 	}
 
+	m, err := fault.Resolve(req.FaultModel) // Normalize already vetted the ID
+	if err != nil {
+		return nil, err
+	}
 	aopts := ndetect.AnalyzeOptions{Workers: req.Workers, Progress: req.Progress}
 	var u *ndetect.CircuitUniverse
 	if req.Universes != nil {
-		u, err = req.Universes.Universe(c, aopts)
+		u, err = req.Universes.Universe(c, m, aopts)
 	} else {
-		u, err = ndetect.FromCircuitOptions(c, aopts)
+		u, err = ndetect.BuildUniverse(c, m, aopts)
 	}
 	if err != nil {
 		return nil, err

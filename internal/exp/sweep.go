@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/report"
 	"ndetect/internal/sim"
@@ -123,9 +124,10 @@ type memoFlight struct {
 	err  error
 }
 
-// Universe implements UniverseSource.
-func (m *universeMemo) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
-	key := circuit.Hash(c)
+// Universe implements UniverseSource. Flights are keyed per (hash, model):
+// a grid crossing fault models shares one universe per model.
+func (m *universeMemo) Universe(c *circuit.Circuit, fm fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+	key := circuit.Hash(c) + "|" + fm.ID()
 	m.mu.Lock()
 	if m.flights == nil {
 		m.flights = make(map[string]*memoFlight)
@@ -144,9 +146,9 @@ func (m *universeMemo) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions)
 		opts.Workers = m.buildWorkers
 	}
 	if m.next != nil {
-		f.u, f.err = m.next.Universe(c, opts)
+		f.u, f.err = m.next.Universe(c, fm, opts)
 	} else {
-		f.u, f.err = ndetect.FromCircuitOptions(c, opts)
+		f.u, f.err = ndetect.BuildUniverse(c, fm, opts)
 	}
 	close(f.done)
 	return f.u, f.err
@@ -161,17 +163,19 @@ const maxSweepVariants = 4096
 // `key=values` fields; values are comma-separated, and integer values may
 // be `lo..hi` ranges (inclusive):
 //
-//	analysis=average;nmax=10;k=1000;seed=1..5;def=1,2
+//	analysis=average;model=stuckat+bridge4,transition;nmax=10;seed=1..5
 //
-// Keys: analysis (worstcase | average; default average), nmax, k, seed,
-// def, ge11 — the result-identity options of DESIGN.md §7. Omitted keys
-// take the usual defaults at Normalize time. Variants enumerate with the
-// later keys of that fixed order varying fastest, then normalize and
-// de-duplicate (a worstcase variant ignores every numeric option, so a
-// grid crossing `analysis=worstcase,average` with seeds collapses the
-// worst-case side to one variant).
+// Keys: analysis (worstcase | average; default average), model (registered
+// fault-model IDs; default the default model), nmax, k, seed, def, ge11 —
+// the result-identity options of DESIGN.md §7. Omitted keys take the usual
+// defaults at Normalize time. Variants enumerate with the later keys of
+// the fixed order analysis, model, nmax, k, seed, def, ge11 varying
+// fastest, then normalize and de-duplicate (a worstcase variant ignores
+// every numeric option, so a grid crossing `analysis=worstcase,average`
+// with seeds collapses the worst-case side to one variant).
 func ParseSweep(spec string) ([]AnalysisRequest, error) {
 	kinds := []AnalysisKind{AverageAnalysis}
+	models := []string{""}
 	grid := map[string][]int64{}
 	seen := map[string]bool{}
 	for _, field := range strings.Split(spec, ";") {
@@ -200,10 +204,21 @@ func ParseSweep(spec string) ([]AnalysisRequest, error) {
 			}
 			continue
 		}
+		if key == "model" {
+			models = models[:0]
+			for _, v := range strings.Split(vals, ",") {
+				id := strings.TrimSpace(v)
+				if _, err := fault.Resolve(id); err != nil {
+					return nil, fmt.Errorf("exp: sweep model %q (have %v)", id, fault.ModelIDs())
+				}
+				models = append(models, id)
+			}
+			continue
+		}
 		switch key {
 		case "nmax", "k", "seed", "def", "ge11":
 		default:
-			return nil, fmt.Errorf("exp: unknown sweep key %q (want analysis, nmax, k, seed, def or ge11)", key)
+			return nil, fmt.Errorf("exp: unknown sweep key %q (want analysis, model, nmax, k, seed, def or ge11)", key)
 		}
 		ints, err := parseIntList(vals)
 		if err != nil {
@@ -226,7 +241,10 @@ func ParseSweep(spec string) ([]AnalysisRequest, error) {
 	// not just the post-deduplication output: a grid of collapsing
 	// variants (a worst-case axis crossed with huge numeric ranges) must
 	// not spin through billions of normalizations to emit one.
-	total := len(kinds)
+	total := len(kinds) * len(models)
+	if total > maxSweepVariants {
+		return nil, fmt.Errorf("exp: sweep grid exceeds %d variants", maxSweepVariants)
+	}
 	for _, key := range []string{"nmax", "k", "seed", "def", "ge11"} {
 		total *= len(axis(key)) // each factor ≤ maxSweepVariants: no overflow
 		if total > maxSweepVariants {
@@ -236,24 +254,27 @@ func ParseSweep(spec string) ([]AnalysisRequest, error) {
 	var out []AnalysisRequest
 	ids := map[identity]bool{}
 	for _, kind := range kinds {
-		for _, nmax := range axis("nmax") {
-			for _, k := range axis("k") {
-				for _, seed := range axis("seed") {
-					for _, def := range axis("def") {
-						for _, ge11 := range axis("ge11") {
-							req := AnalysisRequest{
-								Kind: kind, NMax: int(nmax), K: int(k), Seed: seed,
-								Definition: int(def), Ge11Limit: int(ge11),
+		for _, model := range models {
+			for _, nmax := range axis("nmax") {
+				for _, k := range axis("k") {
+					for _, seed := range axis("seed") {
+						for _, def := range axis("def") {
+							for _, ge11 := range axis("ge11") {
+								req := AnalysisRequest{
+									Kind: kind, FaultModel: model,
+									NMax: int(nmax), K: int(k), Seed: seed,
+									Definition: int(def), Ge11Limit: int(ge11),
+								}
+								if err := req.Normalize(); err != nil {
+									return nil, fmt.Errorf("exp: sweep variant %+v: %w", req, err)
+								}
+								id := identity{req.Kind, req.IdentityOptions()}
+								if ids[id] {
+									continue
+								}
+								ids[id] = true
+								out = append(out, req)
 							}
-							if err := req.Normalize(); err != nil {
-								return nil, fmt.Errorf("exp: sweep variant %+v: %w", req, err)
-							}
-							id := identity{req.Kind, req.IdentityOptions()}
-							if ids[id] {
-								continue
-							}
-							ids[id] = true
-							out = append(out, req)
 						}
 					}
 				}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/report"
 )
@@ -15,9 +16,9 @@ type countingSource struct {
 	builds atomic.Int64
 }
 
-func (s *countingSource) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+func (s *countingSource) Universe(c *circuit.Circuit, m fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
 	s.builds.Add(1)
-	return ndetect.FromCircuitOptions(c, opts)
+	return ndetect.BuildUniverse(c, m, opts)
 }
 
 func sweepVariants() []AnalysisRequest {

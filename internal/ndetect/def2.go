@@ -150,9 +150,15 @@ func NewCircuitChecker(c *circuit.Circuit, faults []fault.StuckAt) *CircuitCheck
 	}
 }
 
-// NewCircuitCheckerFor builds the checker for a CircuitUniverse.
+// NewCircuitCheckerFor builds the checker for a CircuitUniverse. The
+// universe's model must have single stuck-at targets over U (Def2Capable);
+// callers route other models away from Definition 2 before reaching here.
 func NewCircuitCheckerFor(u *CircuitUniverse) *CircuitChecker {
-	return NewCircuitChecker(u.Circuit, u.StuckAt)
+	sas := u.StuckAt()
+	if sas == nil {
+		panic("ndetect: Definition 2 requires a fault model with single stuck-at targets")
+	}
+	return NewCircuitChecker(u.Circuit, sas)
 }
 
 // Distinct implements DistinctChecker.

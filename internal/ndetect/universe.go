@@ -57,15 +57,42 @@ func (u *Universe) Validate() error {
 	return nil
 }
 
-// CircuitUniverse is a Universe bound to the circuit it came from, keeping
-// the structural fault descriptors needed by Definition 2 and by reports.
+// CircuitUniverse is a Universe bound to the circuit and fault model it
+// came from, keeping the model-tagged structural descriptors needed by
+// Definition 2, by reports, and by the artifact codec.
 type CircuitUniverse struct {
 	Universe
 	Circuit *circuit.Circuit
-	// StuckAt[i] is the structural fault behind Targets[i].
-	StuckAt []fault.StuckAt
-	// Bridges[i] is the structural fault behind Untargeted[i].
-	Bridges []fault.Bridge
+	// Model is the fault model the universe was built under.
+	Model fault.Model
+	// TargetFaults[i] is the structural fault behind Targets[i].
+	TargetFaults []fault.Descriptor
+	// UntargetedFaults[i] is the structural fault behind Untargeted[i].
+	UntargetedFaults []fault.Descriptor
+}
+
+// StuckAt returns the structural stuck-at faults behind Targets, or nil
+// when the model's targets are not single stuck-at faults over U (the
+// shape Definition 2 requires — see fault.Model.Def2Capable).
+func (u *CircuitUniverse) StuckAt() []fault.StuckAt {
+	if u.Model == nil || !u.Model.Def2Capable() {
+		return nil
+	}
+	out := make([]fault.StuckAt, len(u.TargetFaults))
+	for i, d := range u.TargetFaults {
+		out[i] = d.StuckAt()
+	}
+	return out
+}
+
+// Bridges returns the structural bridging faults behind Untargeted; it is
+// only meaningful under the default model.
+func (u *CircuitUniverse) Bridges() []fault.Bridge {
+	out := make([]fault.Bridge, len(u.UntargetedFaults))
+	for i, d := range u.UntargetedFaults {
+		out[i] = d.Bridge()
+	}
+	return out
 }
 
 // Progress observes coarse stage transitions of a long-running analysis:
@@ -107,64 +134,82 @@ func FromCircuitWorkers(c *circuit.Circuit, workers int) (*CircuitUniverse, erro
 }
 
 // FromCircuitOptions is FromCircuit with explicit options, reporting stage
-// transitions to opts.Progress.
-//
-// The T-sets are streamed — only the per-fault result bitsets span U — so
-// the construction is bounded by an explicit memory-budget check on those
-// results (sim.MemoryBudget) instead of by materialized per-node values.
+// transitions to opts.Progress. It is BuildUniverse under the default
+// model.
 func FromCircuitOptions(c *circuit.Circuit, opts AnalyzeOptions) (*CircuitUniverse, error) {
-	step := func(stage string, done int) {
+	return BuildUniverse(c, fault.Default(), opts)
+}
+
+// BuildUniverse builds the analysis universe for a circuit under a fault
+// model: the model enumerates both structural fault sets, the T-set
+// builder registered in sim under the model's ID computes the detection
+// bitsets against the compiled engine (dropping undetectable untargeted
+// faults), and AssembleUniverse binds the result.
+//
+// The T-sets are streamed — only the per-fault result bitsets span the
+// model's test-index space — so the construction is bounded by explicit
+// memory-budget checks on those results (sim.MemoryBudget) instead of by
+// materialized per-node values.
+func BuildUniverse(c *circuit.Circuit, m fault.Model, opts AnalyzeOptions) (*CircuitUniverse, error) {
+	build, err := sim.ModelTSetsFor(m.ID())
+	if err != nil {
+		return nil, err
+	}
+	done := 0
+	step := func(stage string) {
 		if opts.Progress != nil {
 			opts.Progress(stage, done, 3)
 		}
+		done++
 	}
-	step("simulate", 0)
+	step("simulate")
 	e, err := sim.RunWorkers(c, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-
-	sas := fault.CollapseStuckAt(c)
-	brs := fault.Bridges(c)
-	if err := sim.CheckResultBudget(c, len(sas)+len(brs)); err != nil {
+	targets := fault.EnumerateSet(m, c, fault.TargetSet)
+	untargeted := fault.EnumerateSet(m, c, fault.UntargetedSet)
+	tT, uT, kept, err := build(e, targets, untargeted, func(stage string) { step(stage) })
+	if err != nil {
 		return nil, err
 	}
-
-	step("stuck-at-tsets", 1)
-	saT := e.StuckAtTSets(sas)
-	step("bridge-tsets", 2)
-	brT := e.BridgeTSets(brs)
-	brs, brT = sim.FilterDetectableBridges(brs, brT)
-	step("universe", 3)
-
-	return AssembleUniverse(c, sas, brs, saT, brT), nil
+	step("universe")
+	return AssembleUniverse(c, m, targets, kept, tT, uT)
 }
 
 // AssembleUniverse binds precomputed fault tables and their T-sets to a
-// circuit, producing the same CircuitUniverse FromCircuit would build had
-// it computed them itself: fault names are rendered from the circuit, and
-// Targets[i]/Untargeted[i] pair with StuckAt[i]/Bridges[i] in table order.
-// It is the assembly tail of FromCircuitOptions, shared with the artifact
-// store's universe codec so that a deserialized universe is
-// indistinguishable from a freshly constructed one (DESIGN.md §11).
-func AssembleUniverse(c *circuit.Circuit, sas []fault.StuckAt, brs []fault.Bridge, saT, brT []*bitset.Set) *CircuitUniverse {
+// circuit under a model, producing the same CircuitUniverse BuildUniverse
+// would build had it computed them itself: fault names are rendered by the
+// model from the circuit, and Targets[i]/Untargeted[i] pair with
+// TargetFaults[i]/UntargetedFaults[i] in table order. It is the assembly
+// tail of BuildUniverse, shared with the artifact store's universe codec
+// so that a deserialized universe is indistinguishable from a freshly
+// constructed one (DESIGN.md §11).
+func AssembleUniverse(c *circuit.Circuit, m fault.Model, targets, untargeted []fault.Descriptor, tT, uT []*bitset.Set) (*CircuitUniverse, error) {
+	size, err := fault.SpaceSize(m, c)
+	if err != nil {
+		return nil, err
+	}
 	u := &CircuitUniverse{
 		Universe: Universe{
-			Size:       c.VectorSpaceSize(),
-			Targets:    make([]Fault, len(sas)),
-			Untargeted: make([]Fault, len(brs)),
+			Size:       size,
+			Targets:    make([]Fault, len(targets)),
+			Untargeted: make([]Fault, len(untargeted)),
 		},
-		Circuit: c,
-		StuckAt: sas,
-		Bridges: brs,
+		Circuit:          c,
+		Model:            m,
+		TargetFaults:     targets,
+		UntargetedFaults: untargeted,
 	}
-	for i, f := range sas {
-		u.Targets[i] = Fault{Name: f.Name(c), T: saT[i]}
+	tp := m.Provider(fault.TargetSet)
+	up := m.Provider(fault.UntargetedSet)
+	for i, d := range targets {
+		u.Targets[i] = Fault{Name: tp.Name(c, d), T: tT[i]}
 	}
-	for i, g := range brs {
-		u.Untargeted[i] = Fault{Name: g.Name(c), T: brT[i]}
+	for i, d := range untargeted {
+		u.Untargeted[i] = Fault{Name: up.Name(c, d), T: uT[i]}
 	}
-	return u
+	return u, nil
 }
 
 // DetectableTargets returns the number of targets with non-empty T-sets.

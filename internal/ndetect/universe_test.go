@@ -36,7 +36,7 @@ func TestFromCircuit(t *testing.T) {
 	if u.Size != 16 {
 		t.Fatalf("Size = %d", u.Size)
 	}
-	if len(u.Targets) != len(u.StuckAt) || len(u.Untargeted) != len(u.Bridges) {
+	if len(u.Targets) != len(u.StuckAt()) || len(u.Untargeted) != len(u.Bridges()) {
 		t.Fatal("parallel slices out of sync")
 	}
 	if err := u.Validate(); err != nil {
@@ -53,13 +53,13 @@ func TestFromCircuit(t *testing.T) {
 		}
 	}
 	// Cross-check every target T-set against the naive simulator.
-	for i, f := range u.StuckAt {
+	for i, f := range u.StuckAt() {
 		want := sim.NaiveStuckAtTSet(c, f)
 		if !u.Targets[i].T.Equal(want) {
 			t.Fatalf("T(%s) mismatch", u.Targets[i].Name)
 		}
 	}
-	for i, g := range u.Bridges {
+	for i, g := range u.Bridges() {
 		want := sim.NaiveBridgeTSet(c, g)
 		if !u.Untargeted[i].T.Equal(want) {
 			t.Fatalf("T(%s) mismatch", u.Untargeted[i].Name)
@@ -85,7 +85,7 @@ func TestFromCircuitBridgeUniverseShape(t *testing.T) {
 	// always at activation. T = {v: ¬(i1∧i2) ∧ (i3∧i4)} = {0011,0111,1011}
 	// = {3,7,11}. Check it is present.
 	found := false
-	for i, g := range u.Bridges {
+	for i, g := range u.Bridges() {
 		if g.Value == false && c.Node(g.Dominant).Name == "g9" && c.Node(g.Victim).Name == "g10" {
 			found = true
 			want := bitset.FromMembers(16, 3, 7, 11)

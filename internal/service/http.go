@@ -366,6 +366,7 @@ func analysisRequest(analysis string, options report.Options) (exp.AnalysisReque
 	}
 	return exp.AnalysisRequest{
 		Kind:       kind,
+		FaultModel: options.FaultModel,
 		NMax:       options.NMax,
 		K:          options.K,
 		Seed:       options.Seed,

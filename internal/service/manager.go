@@ -25,6 +25,7 @@ import (
 
 	"ndetect/internal/circuit"
 	"ndetect/internal/exp"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/report"
 	"ndetect/internal/sim"
@@ -52,14 +53,19 @@ type Config struct {
 	// constructions load from / save to the universe tier. The manager
 	// never closes the store; its owner does.
 	Store *store.Store
+	// DefaultFaultModel is the fault model filled into submissions that
+	// name none ("" = the registry default). Callers validate the ID with
+	// fault.Resolve before constructing the manager; requests naming their
+	// own model are unaffected.
+	DefaultFaultModel string
 
 	// run computes one analysis; tests substitute it to observe and block
 	// the scheduler. nil = exp.AnalyzeCircuit.
 	run func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
 	// newUniverse constructs one exhaustive universe on a universe-tier
 	// miss; tests substitute it to count constructions. nil =
-	// ndetect.FromCircuitOptions.
-	newUniverse func(*circuit.Circuit, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
+	// ndetect.BuildUniverse.
+	newUniverse func(*circuit.Circuit, fault.Model, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
 }
 
 // JobState is a job's lifecycle phase.
@@ -140,10 +146,11 @@ type job struct {
 
 // Manager owns the job queue, the scheduler and the result cache.
 type Manager struct {
-	workers     int
-	run         func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
-	newUniverse func(*circuit.Circuit, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
-	store       *store.Store
+	workers      int
+	run          func(*circuit.Circuit, exp.AnalysisRequest) (*report.Analysis, error)
+	newUniverse  func(*circuit.Circuit, fault.Model, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
+	store        *store.Store
+	defaultModel string
 
 	mu        sync.Mutex
 	closed    bool
@@ -173,27 +180,35 @@ func NewManager(cfg Config) *Manager {
 	}
 	newUniverse := cfg.newUniverse
 	if newUniverse == nil {
-		newUniverse = ndetect.FromCircuitOptions
+		newUniverse = ndetect.BuildUniverse
 	}
 	w := sim.ResolveWorkers(cfg.Workers)
 	return &Manager{
-		workers:     w,
-		run:         run,
-		newUniverse: newUniverse,
-		store:       cfg.Store,
-		inflight:    make(map[string]*job),
-		cache:       newResultCache(entries),
-		universes:   make(map[string]*universeFlight),
-		ctr:         Counters{WorkersTotal: w, CacheCapacity: entries},
+		workers:      w,
+		run:          run,
+		newUniverse:  newUniverse,
+		store:        cfg.Store,
+		defaultModel: cfg.DefaultFaultModel,
+		inflight:     make(map[string]*job),
+		cache:        newResultCache(entries),
+		universes:    make(map[string]*universeFlight),
+		ctr:          Counters{WorkersTotal: w, CacheCapacity: entries},
 	}
 }
 
 // jobKey is the canonical request identity: the circuit's content hash
 // plus every result-identity option of DESIGN.md §7 — and nothing else.
-// Workers and the circuit's display name are deliberately absent.
+// Workers and the circuit's display name are deliberately absent. The
+// fault model component appears only for non-default models (Normalize
+// canonicalizes the default to ""), so every pre-registry job ID is
+// unchanged.
 func jobKey(hash string, req *exp.AnalysisRequest) string {
-	return fmt.Sprintf("ndetect.job/v1|%s|%s|nmax=%d|k=%d|seed=%d|def=%d|ge11=%d|maxin=%d",
+	key := fmt.Sprintf("ndetect.job/v1|%s|%s|nmax=%d|k=%d|seed=%d|def=%d|ge11=%d|maxin=%d",
 		req.Kind, hash, req.NMax, req.K, req.Seed, req.Definition, req.Ge11Limit, req.MaxInputs)
+	if req.FaultModel != "" {
+		key += "|model=" + req.FaultModel
+	}
+	return key
 }
 
 // jobID derives the job's content address from its key.
@@ -213,7 +228,7 @@ func (m *Manager) Submit(c *circuit.Circuit, req exp.AnalysisRequest) (info JobI
 	if c == nil {
 		return JobInfo{}, false, fmt.Errorf("service: nil circuit")
 	}
-	if err := normalizeSubmission(&req); err != nil {
+	if err := m.normalizeSubmission(&req); err != nil {
 		return JobInfo{}, false, err
 	}
 	hash := circuit.Hash(c)
@@ -258,7 +273,7 @@ func (m *Manager) SubmitSweep(c *circuit.Circuit, variants []exp.AnalysisRequest
 	}
 	norm := make([]exp.AnalysisRequest, len(variants))
 	for i, v := range variants {
-		if err := normalizeSubmission(&v); err != nil {
+		if err := m.normalizeSubmission(&v); err != nil {
 			return nil, fmt.Errorf("service: sweep variant %d: %w", i, err)
 		}
 		if v.Kind == exp.PartitionedAnalysis {
@@ -316,12 +331,16 @@ func (m *Manager) SubmitSweep(c *circuit.Circuit, variants []exp.AnalysisRequest
 	return out, nil
 }
 
-// normalizeSubmission strips the scheduler-owned fields and fills option
-// defaults, so the request carries exactly its result identity.
-func normalizeSubmission(req *exp.AnalysisRequest) error {
+// normalizeSubmission strips the scheduler-owned fields, fills the
+// server's default fault model into requests naming none, and fills
+// option defaults, so the request carries exactly its result identity.
+func (m *Manager) normalizeSubmission(req *exp.AnalysisRequest) error {
 	req.Workers = 0
 	req.Progress = nil
 	req.Universes = nil
+	if req.FaultModel == "" {
+		req.FaultModel = m.defaultModel
+	}
 	return req.Normalize()
 }
 
@@ -372,7 +391,13 @@ func (m *Manager) submitLocked(c *circuit.Circuit, hash, id string, req exp.Anal
 		done:    make(chan struct{}),
 	}
 	if req.Kind != exp.PartitionedAnalysis {
+		// Flights are keyed per (hash, model): the default model keeps the
+		// bare hash so it shares with pre-registry keys, and a second model
+		// over the same circuit gets its own universe.
 		j.ukey = hash
+		if req.FaultModel != "" {
+			j.ukey = hash + "|" + req.FaultModel
+		}
 		m.acquireUniverseLocked(j.ukey)
 	}
 	m.inflight[id] = j

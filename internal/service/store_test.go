@@ -10,6 +10,7 @@ import (
 
 	"ndetect/internal/circuit"
 	"ndetect/internal/exp"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 	"ndetect/internal/report"
 	"ndetect/internal/store"
@@ -86,9 +87,9 @@ func TestSubmitSweepSharesUniverse(t *testing.T) {
 	var builds atomic.Int64
 	m := NewManager(Config{
 		Workers: 4,
-		newUniverse: func(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+		newUniverse: func(c *circuit.Circuit, fm fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
 			builds.Add(1)
-			return ndetect.FromCircuitOptions(c, opts)
+			return ndetect.BuildUniverse(c, fm, opts)
 		},
 	})
 	variants := []exp.AnalysisRequest{
@@ -159,9 +160,9 @@ func TestSubmitSweepRejectsPartitioned(t *testing.T) {
 func TestUniverseTierWarmStart(t *testing.T) {
 	dir := t.TempDir()
 	var builds atomic.Int64
-	counting := func(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+	counting := func(c *circuit.Circuit, fm fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
 		builds.Add(1)
-		return ndetect.FromCircuitOptions(c, opts)
+		return ndetect.BuildUniverse(c, fm, opts)
 	}
 
 	m1 := NewManager(Config{Workers: 2, Store: openStore(t, dir), newUniverse: counting})

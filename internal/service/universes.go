@@ -2,6 +2,7 @@ package service
 
 import (
 	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 )
 
@@ -69,8 +70,10 @@ type managerUniverses struct {
 	key string
 }
 
-// Universe implements exp.UniverseSource.
-func (s *managerUniverses) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+// Universe implements exp.UniverseSource. The flight key already encodes
+// the job's fault model (submitLocked), so jobs over the same circuit but
+// different models resolve distinct universes.
+func (s *managerUniverses) Universe(c *circuit.Circuit, fm fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
 	m := s.m
 	m.mu.Lock()
 	f := m.universes[s.key]
@@ -78,7 +81,7 @@ func (s *managerUniverses) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOpti
 		// No flight (the job's reference is released only after the
 		// analysis returns, so this is defensive): resolve unshared.
 		m.mu.Unlock()
-		return m.resolveUniverse(c, opts)
+		return m.resolveUniverse(c, fm, opts)
 	}
 	if f.started {
 		m.mu.Unlock()
@@ -96,7 +99,7 @@ func (s *managerUniverses) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOpti
 	// Jobs over other circuits may overlap transiently; worker counts
 	// never influence results (§7), only wall-clock time.
 	opts.Workers = m.workers
-	f.u, f.err = m.resolveUniverse(c, opts)
+	f.u, f.err = m.resolveUniverse(c, fm, opts)
 	close(f.done)
 	return f.u, f.err
 }
@@ -105,9 +108,9 @@ func (s *managerUniverses) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOpti
 // (build-only when no store is configured), with the manager's build
 // hook threaded through. The exhaustive universe has no per-part input
 // bound, so artifacts are keyed with MaxInputs 0 (store.UniverseWith).
-func (m *Manager) resolveUniverse(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+func (m *Manager) resolveUniverse(c *circuit.Circuit, fm fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
 	if m.store == nil {
-		return m.newUniverse(c, opts)
+		return m.newUniverse(c, fm, opts)
 	}
-	return m.store.UniverseWith(c, opts, m.newUniverse)
+	return m.store.UniverseWith(c, fm, opts, m.newUniverse)
 }

@@ -57,6 +57,19 @@ func CheckResultBudget(c *circuit.Circuit, sets int) error {
 	return nil
 }
 
+// CheckSpaceBudget is CheckResultBudget over an arbitrary test-index
+// space: fault models whose T-sets range over something other than U
+// itself (the transition model's U×U pair space) bound their result
+// memory against the same budget.
+func CheckSpaceBudget(name string, space int64, sets int) error {
+	bytes := int64(sets) * ((space + 7) / 8)
+	if bytes > MemoryBudget {
+		return fmt.Errorf("sim: circuit %q: %d result bitsets over a space of %d indices need %d MiB, over the %d MiB budget (raise sim.MemoryBudget)",
+			name, sets, space, bytes>>20, MemoryBudget>>20)
+	}
+	return nil
+}
+
 // Exhaustive is a compiled view of a circuit's exhaustive input space: the
 // analyses derived from it (PropMasks, StuckAtTSets, BridgeTSets) stream U
 // in word blocks through the compiled program, never materializing per-node

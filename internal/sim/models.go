@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ndetect/internal/bitset"
+	"ndetect/internal/fault"
+)
+
+// The semantic half of the fault-model registry: per model ID, the
+// function that turns the model's enumerated descriptors into detection
+// bitsets against the compiled engine. The structural half (enumeration,
+// naming) lives in package fault, which cannot import the engine; the
+// shared ID ties the halves together (DESIGN.md §12).
+
+// ModelTSets builds both T-set families of one fault model: tT are the
+// target sets in enumeration order (never filtered — undetectable targets
+// stay, as in the paper), uT and kept are the untargeted sets with
+// undetectable faults dropped, in enumeration order. step is called once
+// per major stage with a short stage name for progress reporting.
+type ModelTSets func(e *Exhaustive, targets, untargeted []fault.Descriptor,
+	step func(stage string)) (tT, uT []*bitset.Set, kept []fault.Descriptor, err error)
+
+var (
+	buildersMu sync.RWMutex
+	builders   = map[string]ModelTSets{}
+)
+
+// RegisterModelTSets registers the T-set builder for a model ID.
+func RegisterModelTSets(id string, b ModelTSets) {
+	buildersMu.Lock()
+	defer buildersMu.Unlock()
+	if _, dup := builders[id]; dup {
+		panic(fmt.Sprintf("sim: T-set builder for model %q registered twice", id))
+	}
+	builders[id] = b
+}
+
+// ModelTSetsFor returns the T-set builder registered for a model ID.
+func ModelTSetsFor(id string) (ModelTSets, error) {
+	buildersMu.RLock()
+	defer buildersMu.RUnlock()
+	if b, ok := builders[id]; ok {
+		return b, nil
+	}
+	ids := make([]string, 0, len(builders))
+	for k := range builders {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("sim: no T-set builder registered for fault model %q (have %v)", id, ids)
+}
+
+// toStuckAt unpacks stuck-at-shaped descriptors.
+func toStuckAt(ds []fault.Descriptor) []fault.StuckAt {
+	out := make([]fault.StuckAt, len(ds))
+	for i, d := range ds {
+		out[i] = d.StuckAt()
+	}
+	return out
+}
+
+// defaultModelTSets is the paper's configuration: stuck-at target T-sets
+// plus the detectable four-way bridge universe. Stage names and order
+// ("stuck-at-tsets", "bridge-tsets") are part of the progress contract.
+func defaultModelTSets(e *Exhaustive, targets, untargeted []fault.Descriptor,
+	step func(stage string)) ([]*bitset.Set, []*bitset.Set, []fault.Descriptor, error) {
+	if err := CheckResultBudget(e.Circuit, len(targets)+len(untargeted)); err != nil {
+		return nil, nil, nil, err
+	}
+	brs := make([]fault.Bridge, len(untargeted))
+	for i, d := range untargeted {
+		brs[i] = d.Bridge()
+	}
+	step("stuck-at-tsets")
+	saT := e.StuckAtTSets(toStuckAt(targets))
+	step("bridge-tsets")
+	brT := e.BridgeTSets(brs)
+	var kept []fault.Descriptor
+	var uT []*bitset.Set
+	for i, t := range brT {
+		if !t.IsEmpty() {
+			kept = append(kept, untargeted[i])
+			uT = append(uT, t)
+		}
+	}
+	return saT, uT, kept, nil
+}
+
+func init() {
+	RegisterModelTSets(fault.DefaultModelID, defaultModelTSets)
+	RegisterModelTSets("transition", transitionModelTSets)
+	RegisterModelTSets("msa2", msa2ModelTSets)
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sync"
+
+	"ndetect/internal/bitset"
+	"ndetect/internal/engine"
+	"ndetect/internal/fault"
+)
+
+// The pairwise multiple stuck-at model (ID "msa2"): the untargeted set is
+// every pair of collapsed stuck-at faults on distinct lines, both present
+// at once. Pair detection is computed exactly, with no single-fault
+// approximation: both sites are forced to their stuck values across a
+// whole word block (engine.RunForced on the union fanout cone compiled by
+// CompileCones), and a vector detects the pair iff any reachable output
+// disagrees with the good machine — which accounts for masking between
+// the two faults, the phenomenon that makes the model interesting.
+// Targets are the ordinary collapsed stuck-at faults over the same
+// single-vector space, so Definition 2 still applies.
+
+// msa2ModelTSets is the registered T-set builder for model ID "msa2".
+func msa2ModelTSets(e *Exhaustive, targets, untargeted []fault.Descriptor,
+	step func(stage string)) ([]*bitset.Set, []*bitset.Set, []fault.Descriptor, error) {
+	if err := CheckResultBudget(e.Circuit, len(targets)+len(untargeted)); err != nil {
+		return nil, nil, nil, err
+	}
+	step("stuck-at-tsets")
+	saT := e.StuckAtTSets(toStuckAt(targets))
+	step("msa2-tsets")
+	all := e.pairStuckAtTSets(untargeted)
+	var kept []fault.Descriptor
+	var uT []*bitset.Set
+	for i, t := range all {
+		if !t.IsEmpty() {
+			kept = append(kept, untargeted[i])
+			uT = append(uT, t)
+		}
+	}
+	return saT, uT, kept, nil
+}
+
+// pairStuckAtTSets computes T(g) for every descriptor {A, B, V}: the
+// vectors at which forcing A to V&1 and B to V>>1 simultaneously is
+// observable at an output.
+func (e *Exhaustive) pairStuckAtTSets(pairs []fault.Descriptor) []*bitset.Set {
+	size := e.Circuit.VectorSpaceSize()
+	nWords := universeWords(size)
+	out := make([]*bitset.Set, len(pairs))
+	for i := range out {
+		out[i] = bitset.New(size)
+	}
+	if len(pairs) == 0 {
+		return out
+	}
+
+	if nWords <= smallUniverseWords {
+		// One shared good block; pairs fan out, each worker compiling and
+		// discarding its pair's union cone (compilation is cheap next to
+		// the replay at these sizes, and nothing is retained).
+		x := engine.NewExec(e.prog, nWords)
+		x.Eval(0, nWords)
+		var pool sync.Pool
+		ParallelFor(e.Workers, len(pairs), func(pi int) {
+			s, _ := pool.Get().(*lineScratch)
+			if s == nil {
+				s = &lineScratch{cx: engine.NewConeExec(nWords), prop: make([]uint64, nWords)}
+			}
+			d := pairs[pi]
+			cp := e.prog.CompileCones([]int{int(d.A), int(d.B)})
+			s.cx.RunForced(cp, x, []bool{d.V&1 != 0, d.V&2 != 0})
+			clear(s.prop)
+			s.cx.OrProp(cp, s.prop, x)
+			for w, pw := range s.prop {
+				out[pi].SetWord(w, pw)
+			}
+			pool.Put(s)
+		})
+		return out
+	}
+
+	// Large universe: blocks fan out; cones are precompiled once so the
+	// per-block loop only replays. (CheckResultBudget already bounds the
+	// pair count at these universe sizes — the T-sets alone dwarf the
+	// compiled cones.)
+	cps := make([]*engine.ConeProgram, len(pairs))
+	ParallelFor(e.Workers, len(pairs), func(pi int) {
+		cps[pi] = e.prog.CompileCones([]int{int(pairs[pi].A), int(pairs[pi].B)})
+	})
+	blockWords := blockWordsFor(nWords, e.Workers)
+	var pool sync.Pool
+	streamBlocks(e.prog, e.Workers, nWords, blockWords, func(lo, hi int, x *engine.Exec) {
+		s, _ := pool.Get().(*lineScratch)
+		if s == nil {
+			s = &lineScratch{
+				cx:   engine.NewConeExec(min(blockWords, nWords)),
+				prop: make([]uint64, blockWords),
+			}
+		}
+		for pi, cp := range cps {
+			d := pairs[pi]
+			s.cx.RunForced(cp, x, []bool{d.V&1 != 0, d.V&2 != 0})
+			prop := s.prop[:hi-lo]
+			clear(prop)
+			s.cx.OrProp(cp, prop, x)
+			for w, pw := range prop {
+				out[pi].SetWord(lo+w, pw)
+			}
+		}
+		pool.Put(s)
+	})
+	return out
+}

@@ -20,17 +20,24 @@ import (
 // guarantees a decoded universe is assembled by the exact code path a
 // fresh construction uses (ndetect.AssembleUniverse).
 //
-// Layout (all integers little-endian, no padding):
+// Version 2 layout (all integers little-endian, no padding):
 //
 //	magic   "NDUV"
 //	version uint16                        (bump on incompatible change)
-//	size    uint64                        |U| — must match the circuit
+//	model   uint16 length + bytes         fault model ID
+//	size    uint64                        test-index space size — must
+//	                                      match the model over the circuit
 //	nT, nG  uint32, uint32                target / untargeted counts
-//	targets nT × {node uint32, value u8}  stuck-at table
-//	bridges nG × {dom, vic uint32, value u8}
+//	faults  (nT+nG) × {A u32, B u32, V u8}  model-neutral fault.Descriptor
+//	                                      records, targets first
 //	tsets   (nT+nG) × words               words = ⌈size/64⌉ uint64 each,
 //	                                      targets first, table order
 //	crc     uint32                        IEEE CRC-32 of everything above
+//
+// Version 1 artifacts (pre-registry: 5-byte stuck-at + 9-byte bridge
+// records, size always |U|) carried no model field; they decode as the
+// implicit default model and are rejected — rebuild, never migrate — when
+// the reader expects any other model.
 //
 // Every decode error is ErrBadArtifact-wrapped so callers can distinguish
 // "stale or corrupt artifact, rebuild it" from real failures.
@@ -39,38 +46,44 @@ import (
 const universeMagic = "NDUV"
 
 // UniverseCodecVersion is the current artifact layout version. Decoders
-// reject other versions, which readers treat as a cache miss — stale
-// artifacts are rebuilt, never migrated.
-const UniverseCodecVersion = 1
+// reject versions they cannot read, which readers treat as a cache miss —
+// stale artifacts are rebuilt, never migrated.
+const UniverseCodecVersion = 2
+
+// universeCodecV1 is the pre-registry layout, still decodable under the
+// default model.
+const universeCodecV1 = 1
 
 // ErrBadArtifact wraps every decode failure: wrong magic, wrong version,
-// truncation, checksum mismatch, or inconsistency with the circuit the
-// artifact claims to describe.
+// truncation, checksum mismatch, model skew, or inconsistency with the
+// circuit the artifact claims to describe.
 var ErrBadArtifact = fmt.Errorf("store: bad universe artifact")
 
 func badArtifact(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadArtifact, fmt.Sprintf(format, args...))
 }
 
-// EncodeUniverse serializes a universe's fault tables and T-sets.
+// EncodeUniverse serializes a universe's fault tables and T-sets in the
+// current (v2) layout.
 func EncodeUniverse(u *ndetect.CircuitUniverse) []byte {
+	model := u.Model.ID()
 	words := (u.Size + 63) / 64
-	n := 4 + 2 + 8 + 4 + 4 + 5*len(u.StuckAt) + 9*len(u.Bridges) +
-		8*words*(len(u.StuckAt)+len(u.Bridges)) + 4
+	nT, nG := len(u.TargetFaults), len(u.UntargetedFaults)
+	n := 4 + 2 + 2 + len(model) + 8 + 4 + 4 + 9*(nT+nG) + 8*words*(nT+nG) + 4
 	buf := make([]byte, 0, n)
 	buf = append(buf, universeMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, UniverseCodecVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(model)))
+	buf = append(buf, model...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.Size))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.StuckAt)))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Bridges)))
-	for _, f := range u.StuckAt {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Node))
-		buf = append(buf, boolByte(f.Value))
-	}
-	for _, g := range u.Bridges {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Dominant))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Victim))
-		buf = append(buf, boolByte(g.Value))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nT))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nG))
+	for _, ds := range [2][]fault.Descriptor{u.TargetFaults, u.UntargetedFaults} {
+		for _, d := range ds {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.A))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.B))
+			buf = append(buf, d.V)
+		}
 	}
 	for _, f := range u.Targets {
 		for _, w := range f.T.Words() {
@@ -85,12 +98,13 @@ func EncodeUniverse(u *ndetect.CircuitUniverse) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 }
 
-// DecodeUniverse rebuilds a universe for the given canonical circuit from
-// an encoded artifact. The circuit must be the one the artifact was built
-// from (same canonical hash); size and node-ID consistency are verified,
-// and any mismatch, truncation or corruption returns an
-// ErrBadArtifact-wrapped error.
-func DecodeUniverse(c *circuit.Circuit, data []byte) (*ndetect.CircuitUniverse, error) {
+// DecodeUniverse rebuilds a universe for the given canonical circuit and
+// fault model from an encoded artifact. The circuit must be the one the
+// artifact was built from (same canonical hash); the artifact's model ID,
+// space size and descriptor consistency are all verified, and any mismatch
+// — including model skew, the artifact belonging to a different model —
+// returns an ErrBadArtifact-wrapped error so readers rebuild.
+func DecodeUniverse(c *circuit.Circuit, m fault.Model, data []byte) (*ndetect.CircuitUniverse, error) {
 	if len(data) < 4+2+8+4+4+4 {
 		return nil, badArtifact("truncated header (%d bytes)", len(data))
 	}
@@ -102,9 +116,79 @@ func DecodeUniverse(c *circuit.Circuit, data []byte) (*ndetect.CircuitUniverse, 
 		return nil, badArtifact("checksum mismatch")
 	}
 	r := reader{buf: body[4:]}
-	if v := r.u16(); v != UniverseCodecVersion {
+	switch v := r.u16(); v {
+	case UniverseCodecVersion:
+		return decodeV2(c, m, &r)
+	case universeCodecV1:
+		if m.ID() != fault.DefaultModelID {
+			return nil, badArtifact("v1 artifact is implicitly %s, reader wants model %s",
+				fault.DefaultModelID, m.ID())
+		}
+		return decodeV1(c, m, &r)
+	default:
 		return nil, badArtifact("version %d (want %d)", v, UniverseCodecVersion)
 	}
+}
+
+func decodeV2(c *circuit.Circuit, m fault.Model, r *reader) (*ndetect.CircuitUniverse, error) {
+	if len(r.buf)-r.off < 2 {
+		return nil, badArtifact("truncated model field")
+	}
+	ml := int(r.u16())
+	if len(r.buf)-r.off < ml+8+4+4 {
+		return nil, badArtifact("truncated model field (%d bytes)", ml)
+	}
+	model := string(r.buf[r.off : r.off+ml])
+	r.off += ml
+	if model != m.ID() {
+		return nil, badArtifact("artifact model %q, reader wants %q", model, m.ID())
+	}
+	wantSize, err := fault.SpaceSize(m, c)
+	if err != nil {
+		return nil, badArtifact("%v", err)
+	}
+	size := int(r.u64())
+	if size != wantSize || size <= 0 {
+		return nil, badArtifact("space size %d does not match model %s over circuit (%d)", size, m.ID(), wantSize)
+	}
+	nT, nG := int(r.u32()), int(r.u32())
+	words := (size + 63) / 64
+	need := 9*(nT+nG) + 8*words*(nT+nG)
+	if nT < 0 || nG < 0 || len(r.buf)-r.off != need {
+		return nil, badArtifact("payload is %d bytes, want %d", len(r.buf)-r.off, need)
+	}
+	readDescs := func(set fault.Set, n int) ([]fault.Descriptor, error) {
+		p := m.Provider(set)
+		out := make([]fault.Descriptor, n)
+		for i := range out {
+			d := fault.Descriptor{A: int32(r.u32()), B: int32(r.u32()), V: r.u8()}
+			if err := p.Validate(c, d); err != nil {
+				return nil, badArtifact("fault %d of set %d: %v", i, set, err)
+			}
+			out[i] = d
+		}
+		return out, nil
+	}
+	targets, err := readDescs(fault.TargetSet, nT)
+	if err != nil {
+		return nil, err
+	}
+	untargeted, err := readDescs(fault.UntargetedSet, nG)
+	if err != nil {
+		return nil, err
+	}
+	tT := readSets(r, nT, size, words)
+	uT := readSets(r, nG, size, words)
+	u, err := ndetect.AssembleUniverse(c, m, targets, untargeted, tT, uT)
+	if err != nil {
+		return nil, badArtifact("%v", err)
+	}
+	return u, nil
+}
+
+// decodeV1 reads the pre-registry layout: stuck-at records of 5 bytes,
+// bridge records of 9, size always |U|, no model field.
+func decodeV1(c *circuit.Circuit, m fault.Model, r *reader) (*ndetect.CircuitUniverse, error) {
 	size := int(r.u64())
 	if size != c.VectorSpaceSize() || size <= 0 {
 		return nil, badArtifact("universe size %d does not match circuit (|U| = %d)", size, c.VectorSpaceSize())
@@ -117,47 +201,45 @@ func DecodeUniverse(c *circuit.Circuit, data []byte) (*ndetect.CircuitUniverse, 
 	}
 
 	nodes := c.NumNodes()
-	sas := make([]fault.StuckAt, nT)
-	for i := range sas {
+	targets := make([]fault.Descriptor, nT)
+	for i := range targets {
 		node := int(r.u32())
 		if node < 0 || node >= nodes {
 			return nil, badArtifact("stuck-at %d names node %d of %d", i, node, nodes)
 		}
-		sas[i] = fault.StuckAt{Node: node, Value: r.u8() != 0}
+		targets[i] = fault.StuckAtDescriptor(fault.StuckAt{Node: node, Value: r.u8() != 0})
 	}
-	brs := make([]fault.Bridge, nG)
-	for i := range brs {
+	untargeted := make([]fault.Descriptor, nG)
+	for i := range untargeted {
 		dom, vic := int(r.u32()), int(r.u32())
 		if dom < 0 || dom >= nodes || vic < 0 || vic >= nodes {
 			return nil, badArtifact("bridge %d names nodes (%d,%d) of %d", i, dom, vic, nodes)
 		}
-		brs[i] = fault.Bridge{Dominant: dom, Victim: vic, Value: r.u8() != 0}
+		untargeted[i] = fault.BridgeDescriptor(fault.Bridge{Dominant: dom, Victim: vic, Value: r.u8() != 0})
 	}
-	readSets := func(n int) []*bitset.Set {
-		sets := make([]*bitset.Set, n)
-		for i := range sets {
-			s := bitset.New(size)
-			for w := 0; w < words; w++ {
-				s.SetWord(w, r.u64())
-			}
-			sets[i] = s
-		}
-		return sets
+	tT := readSets(r, nT, size, words)
+	uT := readSets(r, nG, size, words)
+	u, err := ndetect.AssembleUniverse(c, m, targets, untargeted, tT, uT)
+	if err != nil {
+		return nil, badArtifact("%v", err)
 	}
-	saT := readSets(nT)
-	brT := readSets(nG)
-	return ndetect.AssembleUniverse(c, sas, brs, saT, brT), nil
+	return u, nil
 }
 
-func boolByte(b bool) byte {
-	if b {
-		return 1
+func readSets(r *reader, n, size, words int) []*bitset.Set {
+	sets := make([]*bitset.Set, n)
+	for i := range sets {
+		s := bitset.New(size)
+		for w := 0; w < words; w++ {
+			s.SetWord(w, r.u64())
+		}
+		sets[i] = s
 	}
-	return 0
+	return sets
 }
 
 // reader is a tiny cursor over a length-prechecked buffer (DecodeUniverse
-// validates the total length before any field reads).
+// validates lengths before the corresponding field reads).
 type reader struct {
 	buf []byte
 	off int

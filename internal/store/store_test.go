@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 )
 
@@ -172,7 +173,7 @@ func TestStoreUniverseSource(t *testing.T) {
 	c, want := c17Universe(t)
 	hash := circuit.Hash(c)
 
-	u1, err := s.Universe(c, ndetect.AnalyzeOptions{Workers: 1})
+	u1, err := s.Universe(c, fault.Default(), ndetect.AnalyzeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestStoreUniverseSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u2, err := s2.Universe(c, ndetect.AnalyzeOptions{Workers: 1})
+	u2, err := s2.Universe(c, fault.Default(), ndetect.AnalyzeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,8 +204,9 @@ func TestStoreUniverseSource(t *testing.T) {
 		}
 	}
 
-	// A corrupted artifact rebuilds instead of failing.
-	path := filepath.Join(dir, UniverseTier, universeKey(hash, 0))
+	// A corrupted artifact rebuilds instead of failing. The default model
+	// uses the pre-registry key shape, so old artifacts stay warm.
+	path := filepath.Join(dir, UniverseTier, universeKey(hash, 0, ""))
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -213,10 +215,59 @@ func TestStoreUniverseSource(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.Universe(c, ndetect.AnalyzeOptions{Workers: 1}); err != nil {
+	if _, err := s2.Universe(c, fault.Default(), ndetect.AnalyzeOptions{Workers: 1}); err != nil {
 		t.Fatalf("corrupt artifact should rebuild: %v", err)
 	}
 	if ctr := s2.Counters(); ctr.Universes.Puts != 1 {
 		t.Fatalf("rebuild should persist a fresh artifact: %+v", ctr.Universes)
+	}
+}
+
+// Distinct fault models occupy distinct universe-tier slots, and a
+// model-skewed artifact in a slot (decode failure) rebuilds rather than
+// binding wrong data.
+func TestStoreUniverseModelSkewRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := c17Universe(t)
+	hash := circuit.Hash(c)
+	def := fault.Default()
+	tr, err := fault.Resolve("transition")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if universeKey(hash, 0, def.ID()) != universeKey(hash, 0, "") {
+		t.Fatal("default model must keep the legacy key shape")
+	}
+	if universeKey(hash, 0, tr.ID()) == universeKey(hash, 0, "") {
+		t.Fatal("transition model must not collide with the default slot")
+	}
+
+	if _, err := s.Universe(c, def, ndetect.AnalyzeOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the default-model artifact in the transition slot: the decoder
+	// must detect the skew, drop it, and rebuild the right universe.
+	artifact, ok := s.GetUniverse(hash, 0, "")
+	if !ok {
+		t.Fatal("default artifact missing")
+	}
+	if err := s.PutUniverse(hash, 0, tr.ID(), artifact); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Universe(c, tr, ndetect.AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("skewed artifact should rebuild: %v", err)
+	}
+	if u.Model.ID() != tr.ID() || u.Size != c.VectorSpaceSize()*c.VectorSpaceSize() {
+		t.Fatalf("rebuilt universe is model %q size %d", u.Model.ID(), u.Size)
+	}
+	// The rebuilt artifact decodes cleanly on the next load.
+	if _, err := s.Universe(c, tr, ndetect.AnalyzeOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
 	}
 }

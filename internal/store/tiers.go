@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"ndetect/internal/circuit"
+	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
 )
 
@@ -83,30 +84,36 @@ func decodeResult(buf []byte) (meta, body []byte, err error) {
 	return meta, rest[4 : 4+nb], nil
 }
 
-// universeKey names a universe artifact: the canonical circuit hash plus
-// the MaxInputs the construction was bounded by — and nothing else
-// (DESIGN.md §11). The exhaustive universe behind the worst-case and
-// average-case analyses has no per-part bound and uses MaxInputs 0; every
-// result-identity option variant (NMax, K, Seed, Definition, Ge11Limit)
-// maps to the same artifact.
-func universeKey(hash string, maxInputs int) string {
-	return fmt.Sprintf("%s-m%d.u", hash, maxInputs)
+// universeKey names a universe artifact: the canonical circuit hash, the
+// MaxInputs the construction was bounded by, and the fault model — and
+// nothing else (DESIGN.md §11, §12). The exhaustive universe behind the
+// worst-case and average-case analyses has no per-part bound and uses
+// MaxInputs 0; every result-identity option variant (NMax, K, Seed,
+// Definition, Ge11Limit) maps to the same artifact. The default model
+// keeps the pre-registry key shape so existing artifacts stay warm;
+// non-default models get their own slot — without the model component a
+// second model would silently collide with stuck-at/bridge artifacts.
+func universeKey(hash string, maxInputs int, model string) string {
+	if model == "" || model == fault.DefaultModelID {
+		return fmt.Sprintf("%s-m%d.u", hash, maxInputs)
+	}
+	return fmt.Sprintf("%s-m%d-%s.u", hash, maxInputs, model)
 }
 
 // PutUniverse persists an encoded universe artifact (EncodeUniverse).
-func (s *Store) PutUniverse(hash string, maxInputs int, artifact []byte) error {
-	return s.put(UniverseTier, universeKey(hash, maxInputs), artifact)
+func (s *Store) PutUniverse(hash string, maxInputs int, model string, artifact []byte) error {
+	return s.put(UniverseTier, universeKey(hash, maxInputs, model), artifact)
 }
 
-// GetUniverse loads the raw universe artifact for (hash, maxInputs).
-func (s *Store) GetUniverse(hash string, maxInputs int) ([]byte, bool) {
-	return s.get(UniverseTier, universeKey(hash, maxInputs))
+// GetUniverse loads the raw universe artifact for (hash, maxInputs, model).
+func (s *Store) GetUniverse(hash string, maxInputs int, model string) ([]byte, bool) {
+	return s.get(UniverseTier, universeKey(hash, maxInputs, model))
 }
 
 // DropUniverse removes a universe artifact (readers call it on decode
 // failure so the slot rebuilds).
-func (s *Store) DropUniverse(hash string, maxInputs int) {
-	s.drop(UniverseTier, universeKey(hash, maxInputs))
+func (s *Store) DropUniverse(hash string, maxInputs int, model string) {
+	s.drop(UniverseTier, universeKey(hash, maxInputs, model))
 }
 
 // Universe implements the analysis driver's universe source
@@ -114,34 +121,35 @@ func (s *Store) DropUniverse(hash string, maxInputs int) {
 // standard construction. Callers needing coalescing of concurrent
 // constructions layer it on top (exp.Sweep's memo, the serving layer's
 // flights) — the store itself only answers "load or build".
-func (s *Store) Universe(c *circuit.Circuit, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
-	return s.UniverseWith(c, opts, ndetect.FromCircuitOptions)
+func (s *Store) Universe(c *circuit.Circuit, m fault.Model, opts ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error) {
+	return s.UniverseWith(c, m, opts, ndetect.BuildUniverse)
 }
 
 // UniverseWith is the universe tier's one resolution path: load the
-// artifact for the circuit's canonical hash, or construct the universe
-// with build, persist it, and return it. Decode failures (stale codec
-// version, corruption) rebuild and overwrite; a failed persist is
-// best-effort — the construction already succeeded, so the analysis
-// proceeds and only the warm start is lost.
+// artifact for the circuit's canonical hash and fault model, or construct
+// the universe with build, persist it, and return it. Decode failures
+// (stale codec version, model skew, corruption) rebuild and overwrite; a
+// failed persist is best-effort — the construction already succeeded, so
+// the analysis proceeds and only the warm start is lost.
 //
 // The circuit must already be canonical (the driver always is — see
 // exp.AnalyzeCircuit): the artifact's fault tables index canonical node
 // IDs, so binding them to a differently-ordered instance would scramble
 // fault names.
-func (s *Store) UniverseWith(c *circuit.Circuit, opts ndetect.AnalyzeOptions,
-	build func(*circuit.Circuit, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)) (*ndetect.CircuitUniverse, error) {
+func (s *Store) UniverseWith(c *circuit.Circuit, m fault.Model, opts ndetect.AnalyzeOptions,
+	build func(*circuit.Circuit, fault.Model, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)) (*ndetect.CircuitUniverse, error) {
 	hash := circuit.Hash(c)
-	if artifact, ok := s.GetUniverse(hash, 0); ok {
-		if u, err := DecodeUniverse(c, artifact); err == nil {
+	model := m.ID()
+	if artifact, ok := s.GetUniverse(hash, 0, model); ok {
+		if u, err := DecodeUniverse(c, m, artifact); err == nil {
 			return u, nil
 		}
-		s.DropUniverse(hash, 0)
+		s.DropUniverse(hash, 0, model)
 	}
-	u, err := build(c, opts)
+	u, err := build(c, m, opts)
 	if err != nil {
 		return nil, err
 	}
-	s.PutUniverse(hash, 0, EncodeUniverse(u)) // best effort
+	s.PutUniverse(hash, 0, model, EncodeUniverse(u)) // best effort
 	return u, nil
 }

@@ -186,6 +186,38 @@ func AnalyzeWith(c *Circuit, opts AnalyzeOptions) (*CircuitUniverse, error) {
 	return core.FromCircuitOptions(c, opts)
 }
 
+// FaultModels lists the registered fault-model IDs in sorted order. The
+// default model — the paper's setup, DefaultFaultModel — is always
+// present; "transition" (two-pattern transition faults) and "msa2"
+// (pairwise double stuck-at faults) ship with the package.
+func FaultModels() []string { return fault.ModelIDs() }
+
+// DefaultFaultModel is the registry's default model ID: collapsed single
+// stuck-at targets with four-way bridging untargeted faults, the paper's
+// experimental setup.
+const DefaultFaultModel = fault.DefaultModelID
+
+// AnalyzeModel is AnalyzeWith under an explicit fault model: the target
+// and untargeted sets — and the test-index space their T-sets range over
+// — come from the registered model instead of the paper's stuck-at +
+// bridging default ("" selects the default; see FaultModels). For the
+// "transition" model the universe indexes ordered two-pattern tests
+// (v1, v2) ∈ U×U, so Universe.Size is |U|²; Definition 2 requires single
+// stuck-at targets and is unavailable under models without them.
+func AnalyzeModel(c *Circuit, model string, opts AnalyzeOptions) (*CircuitUniverse, error) {
+	m, err := fault.Resolve(model)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildUniverse(c, m, opts)
+}
+
+// StuckAtCollapseRatio reports the fault-collapsing ratio for a circuit:
+// collapsed stuck-at faults over the uncollapsed 2·(number of lines)
+// total. The paper's Table 2 reports |F| after collapsing; this exposes
+// how much the equivalence-class collapse shrank it.
+func StuckAtCollapseRatio(c *Circuit) float64 { return fault.CollapseRatio(c) }
+
 // WorstCase runs the paper's Section 2 analysis: nmin(g) for every
 // untargeted fault, with one worker per CPU.
 func WorstCase(u *Universe) *WorstCaseResult { return core.WorstCase(u) }

@@ -1,0 +1,85 @@
+// Command ndetectlint enforces the repo's determinism and byte-identity
+// contract (DESIGN.md §13) with the analyzers in internal/lint.
+//
+// Two modes:
+//
+//	go vet -vettool=$PWD/ndetectlint ./...   # vettool backend (CI)
+//	ndetectlint ./...                        # standalone driver
+//
+// As a vettool it speaks go vet's unitchecker protocol: go vet probes it
+// with -V=full and -flags, then invokes it once per package with a
+// .cfg file describing the sources and compiled dependencies. Standalone
+// it loads packages itself via `go list -export` and prints the same
+// findings.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ndetect/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet capability probes. -V=full must print a version line whose
+	// second field is "version"; with "devel" the last field must be a
+	// buildID. Hash the executable so the vet cache invalidates whenever
+	// the tool is rebuilt with different analyzers.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("ndetectlint version devel buildID=%s\n", selfID())
+			return
+		case a == "-flags" || a == "--flags":
+			// No analyzer flags: the suite always runs whole.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Vettool mode: a single vet config file argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(lint.Vet(args[0], lint.Analyzers(), os.Stderr))
+	}
+
+	// Standalone mode: package patterns, cwd-relative.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndetectlint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(lint.VetExitFindings)
+	}
+}
+
+// selfID returns a content hash of the running executable, so the
+// version string (and with it go vet's action cache) changes on rebuild.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}

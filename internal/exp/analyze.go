@@ -41,7 +41,10 @@ const (
 // MaxInputs) select the result; Workers and Progress never influence it
 // (DESIGN.md §7).
 type AnalysisRequest struct {
-	Kind AnalysisKind
+	// Kind is identity carried by the §10 document envelope rather than
+	// the Options block: the job key and the result document record it,
+	// but IdentityOptions (which mirrors report.Options) does not.
+	Kind AnalysisKind // ndetect:identity-envelope
 
 	// FaultModel selects the registered fault model the universe is built
 	// under (fault.Resolve); empty means the default model, and Normalize
@@ -63,10 +66,10 @@ type AnalysisRequest struct {
 
 	// Workers bounds the §5 worker budget for every stage (0 = one per
 	// CPU, 1 = serial). Not part of the result identity.
-	Workers int
+	Workers int // ndetect:nonidentity
 	// Progress, when non-nil, observes stage transitions. Not part of the
 	// result identity.
-	Progress ndetect.Progress
+	Progress ndetect.Progress // ndetect:nonidentity
 	// Universes, when non-nil, supplies the exhaustive universe instead
 	// of constructing it per request — the hook behind the artifact
 	// store's universe tier and the sweep engine's sharing (DESIGN.md
@@ -75,7 +78,7 @@ type AnalysisRequest struct {
 	// substituting one never changes result bytes; it is not part of the
 	// result identity. Ignored by the partitioned analysis (per-part
 	// universes are constructed inside the pipeline).
-	Universes UniverseSource
+	Universes UniverseSource // ndetect:nonidentity
 }
 
 // UniverseSource supplies the exhaustive universe of a canonical circuit

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"ndetect/internal/report"
+)
+
+// TestIdentitySplit pins the identity/non-identity split of
+// AnalysisRequest (DESIGN.md §10): every field is exactly one of (a) an
+// identity option mirrored in report.Options, (b) the Kind envelope
+// identity carried by the document itself, or (c) a pinned operational
+// field that must never shape result bytes. Adding a field forces a
+// deliberate decision here — and the ndetectlint identityopt analyzer
+// enforces the matching threading/markers in the source.
+func TestIdentitySplit(t *testing.T) {
+	nonIdentity := map[string]bool{
+		"Workers":   true,
+		"Progress":  true,
+		"Universes": true,
+	}
+	envelope := map[string]bool{"Kind": true}
+
+	optFields := make(map[string]bool)
+	ot := reflect.TypeOf(report.Options{})
+	for i := 0; i < ot.NumField(); i++ {
+		optFields[ot.Field(i).Name] = true
+	}
+
+	rt := reflect.TypeOf(AnalysisRequest{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		switch {
+		case optFields[name] && (nonIdentity[name] || envelope[name]):
+			t.Errorf("AnalysisRequest.%s is both a report.Options field and pinned as non-identity/envelope", name)
+		case optFields[name], envelope[name], nonIdentity[name]:
+			// accounted for
+		default:
+			t.Errorf("AnalysisRequest.%s is not accounted for in the identity split: mirror it in report.Options, or pin it here as non-identity (with the // ndetect:nonidentity marker)", name)
+		}
+	}
+
+	// The mirror must be total in the other direction too: an identity
+	// option that exists only in report.Options could never be requested.
+	for name := range optFields {
+		if _, ok := rt.FieldByName(name); !ok {
+			t.Errorf("report.Options.%s has no AnalysisRequest counterpart", name)
+		}
+	}
+}

@@ -230,7 +230,10 @@ func ParseSweep(spec string) ([]AnalysisRequest, error) {
 		return nil, fmt.Errorf("exp: empty sweep spec")
 	}
 
-	// Enumerate the product in fixed key order, later keys fastest.
+	// Enumerate the product in fixed key order, later keys fastest. The
+	// grid map is only ever read by literal key through axis() — it is
+	// never ranged — so variant order is a pure function of the spec
+	// string and maporder has nothing to flag here.
 	axis := func(key string) []int64 {
 		if vs := grid[key]; len(vs) > 0 {
 			return vs

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// budget: worker parallelism in the compute hot paths is budgeted — §5
+// grants a worker count per analysis and sim.ParallelFor is the one
+// primitive that spends it. A bare go statement sidesteps the budget
+// (PR 2 fixed exactly such a leak: K goroutines per partition regardless
+// of Workers), can oversubscribe the host when analyses run concurrently
+// under the daemon, and tends to smuggle in scheduling-order
+// nondeterminism. The analyzer flags every go statement in the compute
+// packages; sim.ParallelFor's own spawn site carries the
+// ndetect:allow(budget) marker, as must any future primitive that is
+// itself the budget mechanism.
+
+// budgetPackages is the scope: the compute hot paths. service is outside
+// — its goroutines are request lifecycle, bounded by the §5 grant table,
+// not per-item fan-out.
+var budgetPackages = map[string]bool{
+	"sim":       true,
+	"exp":       true,
+	"ndetect":   true,
+	"partition": true,
+}
+
+// Budget is the budget analyzer.
+var Budget = &Analyzer{
+	Name: "budget",
+	Doc:  "bare go statements in compute packages must route through sim.ParallelFor or a §5 worker grant",
+	Run:  runBudget,
+}
+
+func runBudget(p *Pass) error {
+	if !budgetPackages[p.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(gs.Pos(), "bare go statement in package %s bypasses the §5 worker budget; use sim.ParallelFor or mark ndetect:allow(budget) with the grant it spends (DESIGN.md §5)", p.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errflow: the §11 crash-safety story (write temp → sync → close → rename
+// → sync dir) only holds if every step's error is observed — a swallowed
+// Close or Sync can acknowledge a write that never reached the disk, and
+// a swallowed Rename can leave the store pointing at a half-published
+// artifact. The analyzer flags Close/Sync/Rename calls in internal/store
+// whose error result is dropped on the floor: a bare call statement, a
+// defer, or a go statement. Assigning to the blank identifier
+// (`_ = f.Close()`) is an explicit, reviewable discard and passes — the
+// read-path cleanup where a Close error cannot lose data uses that form.
+
+// ErrFlow is the errflow analyzer.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "Close/Sync/Rename errors on the store write path must be checked",
+	Run:  runErrFlow,
+}
+
+var errflowNames = map[string]bool{"Close": true, "Sync": true, "Rename": true}
+
+func runErrFlow(p *Pass) error {
+	if p.Pkg.Name() != "store" {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := errflowCallee(p, call)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(p.Info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s error is discarded on the store write path; check it or assign to _ explicitly (DESIGN.md §11)", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// errflowCallee matches method calls x.Close()/x.Sync() and the
+// os.Rename function (plus any method named Rename).
+func errflowCallee(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !errflowNames[sel.Sel.Name] {
+		return "", false
+	}
+	if pkg, fn, ok := calleePkgFunc(p.Info, call); ok {
+		return lastPathElem(pkg) + "." + fn, true
+	}
+	return sel.Sel.Name, true
+}
+
+// callReturnsError reports whether the call's results include an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeHasError(tv.Type)
+}
+
+func typeHasError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if typeHasError(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Named:
+		return t.Obj().Name() == "error" && t.Obj().Pkg() == nil
+	}
+	return false
+}

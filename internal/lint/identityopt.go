@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// identityopt: the §10 cache key must account for every option that can
+// change an analysis result. PR 6 had to wire the fault-model field into
+// the job key by hand after the cache silently conflated universes across
+// models; this analyzer makes that class of bug a compile-time failure.
+//
+// Two rules chain across the request and service layers:
+//
+//  1. Any struct that declares both Normalize and IdentityOptions methods
+//     (exp.AnalysisRequest is the production instance) must account for
+//     every field: an unmarked field must be referenced in both method
+//     bodies; a field marked // ndetect:nonidentity must NOT appear in
+//     IdentityOptions; a field marked // ndetect:identity-envelope is
+//     identity that travels outside the Options document (the request
+//     Kind selects the §10 envelope) and must still be referenced in
+//     Normalize.
+//
+//  2. Any function named jobKey taking a pointer to such a struct must
+//     reference, via selectors on that parameter, every identity field —
+//     the field names of the IdentityOptions result type plus any
+//     identity-envelope fields that exist on the request struct.
+//
+// Rule 1 catches a new field that skips the options document entirely;
+// rule 2 catches one that reaches the document but not the cache key.
+
+// IdentityOpt is the identityopt analyzer.
+var IdentityOpt = &Analyzer{
+	Name: "identityopt",
+	Doc:  "every request option is threaded through Normalize, IdentityOptions and the §10 job key, or marked ndetect:nonidentity",
+	Run:  runIdentityOpt,
+}
+
+const (
+	markerNonIdentity      = "ndetect:nonidentity"
+	markerIdentityEnvelope = "ndetect:identity-envelope"
+)
+
+func runIdentityOpt(p *Pass) error {
+	methods := collectMethods(p)
+	for typeName, ms := range methods {
+		norm, identOpts := ms["Normalize"], ms["IdentityOptions"]
+		if norm == nil || identOpts == nil {
+			continue
+		}
+		checkRequestStruct(p, typeName, norm, identOpts)
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Recv == nil && fn.Name.Name == "jobKey" && fn.Body != nil {
+				checkJobKey(p, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// collectMethods indexes the package's method declarations by receiver
+// type name.
+func collectMethods(p *Pass) map[string]map[string]*ast.FuncDecl {
+	out := make(map[string]map[string]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+				continue
+			}
+			name := receiverTypeName(fn.Recv.List[0].Type)
+			if name == "" {
+				continue
+			}
+			if out[name] == nil {
+				out[name] = make(map[string]*ast.FuncDecl)
+			}
+			out[name][fn.Name.Name] = fn
+		}
+	}
+	return out
+}
+
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// checkRequestStruct enforces rule 1 over one request-shaped struct.
+func checkRequestStruct(p *Pass, typeName string, norm, identOpts *ast.FuncDecl) {
+	spec := findStructSpec(p, typeName)
+	if spec == nil {
+		return
+	}
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	fieldObjs := structFieldObjects(p, typeName)
+
+	for _, field := range st.Fields.List {
+		marker := fieldMarker(field)
+		for _, name := range field.Names {
+			obj := fieldObjs[name.Name]
+			if obj == nil {
+				continue
+			}
+			one := map[types.Object]bool{obj: true}
+			inNorm := usesAny(p.Info, norm.Body, one)
+			inOpts := usesAny(p.Info, identOpts.Body, one)
+			switch marker {
+			case markerNonIdentity:
+				if inOpts {
+					p.Reportf(name.Pos(), "field %s.%s is marked ndetect:nonidentity but is referenced by IdentityOptions; identity and non-identity state must not mix (DESIGN.md §10)", typeName, name.Name)
+				}
+			case markerIdentityEnvelope:
+				if !inNorm {
+					p.Reportf(name.Pos(), "envelope-identity field %s.%s is not referenced by Normalize (DESIGN.md §10)", typeName, name.Name)
+				}
+			default:
+				if !inNorm || !inOpts {
+					p.Reportf(name.Pos(), "field %s.%s is not threaded through both Normalize and IdentityOptions; thread it or mark it // ndetect:nonidentity (DESIGN.md §10)", typeName, name.Name)
+				}
+			}
+		}
+	}
+}
+
+func findStructSpec(p *Pass, typeName string) *ast.TypeSpec {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == typeName {
+					return ts
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// structFieldObjects returns the named type's field objects keyed by name.
+func structFieldObjects(p *Pass, typeName string) map[string]types.Object {
+	out := make(map[string]types.Object)
+	obj := p.Pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return out
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		out[f.Name()] = f
+	}
+	return out
+}
+
+// fieldMarker extracts an identityopt marker from a struct field's doc or
+// trailing comment.
+func fieldMarker(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		// identity-envelope first: it contains "ndetect:identity" but the
+		// two markers are distinct words, so substring order matters only
+		// for clarity here.
+		if strings.Contains(text, markerIdentityEnvelope) {
+			return markerIdentityEnvelope
+		}
+		if strings.Contains(text, markerNonIdentity) {
+			return markerNonIdentity
+		}
+	}
+	return ""
+}
+
+// checkJobKey enforces rule 2: the cache-key builder references every
+// identity field of its request parameter.
+func checkJobKey(p *Pass, fn *ast.FuncDecl) {
+	reqStruct, reqName := jobKeyRequestType(p, fn)
+	if reqStruct == nil {
+		return
+	}
+	identNames, identObjs := jobKeyIdentityFields(reqStruct)
+	if len(identNames) == 0 {
+		return
+	}
+
+	used := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if o := p.Info.Uses[sel.Sel]; o != nil && identObjs[o] {
+			used[o.Name()] = true
+		}
+		return true
+	})
+	for _, name := range identNames {
+		if !used[name] {
+			p.Reportf(fn.Name.Pos(), "jobKey does not reference identity field %s.%s; every identity option must shape the §10 cache key (DESIGN.md §10)", reqName, name)
+		}
+	}
+}
+
+// jobKeyRequestType finds the first parameter of fn whose (pointer)
+// struct type declares an IdentityOptions method, returning the named
+// type and its display name.
+func jobKeyRequestType(p *Pass, fn *ast.FuncDecl) (*types.Named, string) {
+	for _, field := range fn.Type.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == "IdentityOptions" {
+				return named, named.Obj().Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+// jobKeyIdentityFields computes the identity field set of a request type:
+// the request fields that share a name with a field of the
+// IdentityOptions result type, plus any remaining fields the options
+// document cannot carry (the identity envelope — Kind in production).
+// Fields absent from the options type whose names are known non-identity
+// (they match no options field and carry no envelope duty) are the ones
+// rule 1 polices, so here the set is: options-typed names intersected
+// with request fields, plus "Kind" when present.
+func jobKeyIdentityFields(req *types.Named) ([]string, map[types.Object]bool) {
+	var optsStruct *types.Struct
+	for i := 0; i < req.NumMethods(); i++ {
+		m := req.Method(i)
+		if m.Name() != "IdentityOptions" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Results().Len() != 1 {
+			return nil, nil
+		}
+		if s, ok := sig.Results().At(0).Type().Underlying().(*types.Struct); ok {
+			optsStruct = s
+		}
+	}
+	if optsStruct == nil {
+		return nil, nil
+	}
+	optNames := make(map[string]bool)
+	for i := 0; i < optsStruct.NumFields(); i++ {
+		optNames[optsStruct.Field(i).Name()] = true
+	}
+
+	reqStruct, ok := req.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	var names []string
+	objs := make(map[types.Object]bool)
+	for i := 0; i < reqStruct.NumFields(); i++ {
+		f := reqStruct.Field(i)
+		if optNames[f.Name()] || f.Name() == "Kind" {
+			names = append(names, f.Name())
+			objs[f] = true
+		}
+	}
+	return names, objs
+}

@@ -1,0 +1,225 @@
+// Package lint is ndetectlint: a suite of static analyzers that
+// mechanically enforce the repo's determinism and byte-identity contract
+// (DESIGN.md §7, §10, §13). The five analyzers encode the invariants every
+// PR used to re-prove by hand:
+//
+//   - maporder: map iteration order must not reach encoded output, hashes
+//     or accumulated slices in identity-path packages without a sort.
+//   - identityopt: every field of exp.AnalysisRequest is either threaded
+//     through Normalize and IdentityOptions (and, in service, the §10 job
+//     key) or explicitly marked // ndetect:nonidentity.
+//   - detrand: wall-clock, environment and unseeded randomness must not
+//     appear in result-computing packages.
+//   - budget: bare go statements in the compute hot paths must route
+//     through sim.ParallelFor or a §5 worker grant.
+//   - errflow: Close/Sync/Rename errors on the §11 crash-safety write
+//     path in internal/store must be checked.
+//
+// The framework underneath is a deliberately small, stdlib-only stand-in
+// for golang.org/x/tools/go/analysis (which this build environment cannot
+// fetch): an Analyzer runs over one type-checked package and reports
+// position-anchored diagnostics. cmd/ndetectlint drives it both
+// standalone (`ndetectlint ./...`) and as a `go vet -vettool` backend
+// (unitchecker.go speaks the go vet config protocol).
+//
+// Findings are suppressed with a marker comment on the offending line or
+// the line above:
+//
+//	// ndetect:allow(<analyzer>) <reason>
+//
+// Markers are part of the lint contract: every allow carries the reason
+// the invariant provably holds anyway (DESIGN.md §13).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// ndetect:allow(name) markers.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a resolved source position so it
+// survives outside the package's own token.FileSet.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test files — the surface the lint
+	// contract covers. Test files participate in type checking (they are
+	// part of the compiled test variant go vet hands us) but are never
+	// analyzed.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// allows maps file → line → analyzer names allowed there, built from
+	// ndetect:allow markers; a marker covers its own line and the next.
+	allows map[string]map[int]map[string]bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an ndetect:allow marker for
+// this analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.allows[position.Filename]; ok {
+		if lines[position.Line][p.Analyzer.Name] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full ndetectlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, IdentityOpt, DetRand, Budget, ErrFlow}
+}
+
+var allowMarker = regexp.MustCompile(`ndetect:allow\(([a-z]+)\)`)
+
+// buildAllows scans every comment for ndetect:allow markers. A marker
+// suppresses matching findings on every line of its comment group and on
+// the line after the group, so trailing comments, single comment lines
+// above a statement, and multi-line reason comments all work.
+func buildAllows(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			var names []string
+			for _, c := range cg.List {
+				for _, m := range allowMarker.FindAllStringSubmatch(c.Text, -1) {
+					names = append(names, m[1])
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := fset.Position(cg.Pos())
+			end := fset.Position(cg.End())
+			lines := out[start.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				out[start.Filename] = lines
+			}
+			for line := start.Line; line <= end.Line+1; line++ {
+				if lines[line] == nil {
+					lines[line] = make(map[string]bool)
+				}
+				for _, name := range names {
+					lines[line][name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package and
+// returns the findings sorted by position.
+func RunAnalyzers(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var nonTest []*ast.File
+	for _, f := range t.Files {
+		name := t.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	allows := buildAllows(t.Fset, nonTest)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     t.Fset,
+			Files:    nonTest,
+			Pkg:      t.Pkg,
+			Info:     t.Info,
+			allows:   allows,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, t.Pkg.Path(), err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// usesAny reports whether any identifier under n resolves to one of the
+// given objects.
+func usesAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	if n == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil && objs[o] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleePkgFunc resolves a call of the form pkgname.Func and returns the
+// imported package path and function name, or ok=false.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maporder: Go map iteration order is deliberately randomized, so any map
+// range whose key or value reaches bytes that are served, cached, hashed
+// or diffed breaks the byte-identity contract (DESIGN.md §7). The
+// analyzer flags map ranges in identity-path packages whose iteration
+// variables flow into a sink — fmt formatting, Write-family methods,
+// encoding or hashing calls — or are accumulated with append without the
+// accumulated slice ever being sorted in the same function.
+//
+// This is a syntactic reachability check, not full dataflow: values
+// passed to helper functions are not followed. The identity-path packages
+// keep their encoding local (one encoder, report.Analysis), which is what
+// makes the local check sufficient in practice; anything cleverer belongs
+// behind an ndetect:allow(maporder) marker with its proof.
+
+// identityPathPackages names the packages whose output feeds encoded
+// documents, artifacts or cache keys (by package name: the testdata
+// suites mimic them under the same names).
+var identityPathPackages = map[string]bool{
+	"report":  true,
+	"encode":  true,
+	"store":   true,
+	"exp":     true,
+	"service": true,
+	"fault":   true,
+}
+
+// MapOrder is the maporder analyzer.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach encoded output in identity-path packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	if !identityPathPackages[p.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := p.Info.Types[rs.X]; !ok || !isMap(tv.Type) {
+					return true
+				}
+				checkMapRange(p, fn, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map range statement for order-dependent
+// sinks fed by its iteration variables.
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	tainted := make(map[types.Object]bool)
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := v.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if o := p.Info.Defs[id]; o != nil { // k, v := range m
+			tainted[o] = true
+		} else if o := p.Info.Uses[id]; o != nil { // k, v = range m
+			tainted[o] = true
+		}
+	}
+	if len(tainted) == 0 {
+		return // `for range m`: nothing iteration-ordered escapes
+	}
+
+	// First pass: append calls whose result lands in a plain variable are
+	// deferred — a later sort re-establishes a deterministic order (the
+	// sorted-key-slice idiom).
+	appendDest := make(map[*ast.CallExpr]types.Object)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Info, call, "append") || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if o := p.Info.Defs[id]; o != nil {
+					appendDest[call] = o
+				} else if o := p.Info.Uses[id]; o != nil {
+					appendDest[call] = o
+				}
+			}
+		}
+		return true
+	})
+
+	type pending struct {
+		obj types.Object
+		n   ast.Node
+	}
+	var appends []pending
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltin(p.Info, call, "append"):
+			if !usesAny(p.Info, call, tainted) {
+				return true
+			}
+			if dest, ok := appendDest[call]; ok {
+				appends = append(appends, pending{dest, call})
+			} else {
+				p.Reportf(call.Pos(), "map iteration order reaches append outside a sortable variable; iterate sorted keys instead (DESIGN.md §7)")
+			}
+		case sinkCall(p.Info, call):
+			if argsUse(p.Info, call, tainted) {
+				p.Reportf(call.Pos(), "map iteration order reaches %s; iterate a sorted key slice instead (DESIGN.md §7)", describeCall(call))
+			}
+		}
+		return true
+	})
+
+	// An accumulated slice is fine iff the enclosing function later sorts
+	// it (sort.* or slices.Sort*). The sort need not follow the loop
+	// textually — any sort of the same variable in the function counts.
+	for _, a := range appends {
+		if !sortedInFunc(p.Info, fn, a.obj) {
+			p.Reportf(a.n.Pos(), "map iteration order accumulates into %q which is never sorted in %s; sort it before it reaches output (DESIGN.md §7)", a.obj.Name(), fn.Name.Name)
+		}
+	}
+}
+
+// argsUse reports whether any call argument references a tainted object
+// (the callee expression itself is excluded: v.Method() receivers count,
+// via the selector being part of Fun — so include Fun too for methods on
+// tainted values).
+func argsUse(info *types.Info, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	for _, arg := range call.Args {
+		if usesAny(info, arg, tainted) {
+			return true
+		}
+	}
+	// Write-family methods *on* a tainted value (v.WriteTo(w)) leak too.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && usesAny(info, sel.X, tainted) {
+		return true
+	}
+	return false
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sinkCall classifies calls whose argument order is observable in output:
+// fmt formatting, Write-family methods (strings.Builder, bytes.Buffer,
+// hash.Hash, io.Writer), and encoding or hashing package functions.
+func sinkCall(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, _, ok := calleePkgFunc(info, call); ok {
+		if pkg == "fmt" || strings.HasPrefix(pkg, "encoding/") || strings.HasPrefix(pkg, "hash") || strings.HasPrefix(pkg, "crypto/") {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if strings.HasPrefix(sel.Sel.Name, "Write") {
+			return true
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if id.Name == "print" || id.Name == "println" {
+			if _, isB := info.Uses[id].(*types.Builtin); isB {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func describeCall(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "a sink call"
+}
+
+// sortedInFunc reports whether fn contains a sort.* or slices.Sort* call
+// over the given object.
+func sortedInFunc(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleePkgFunc(info, call)
+		if !ok {
+			return true
+		}
+		isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesAny(info, arg, map[types.Object]bool{obj: true}) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,32 @@
+// Package ndetect mimics a compute hot-path package for the budget suite:
+// bare go statements bypass the §5 worker budget and must route through
+// sim.ParallelFor or carry an explicit grant marker (DESIGN.md §5).
+package ndetect
+
+import "sync"
+
+// FanOut spawns one goroutine per item — the PR 2 bug class: parallelism
+// proportional to the workload instead of the worker grant.
+func FanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "bare go statement in package ndetect bypasses"
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Granted is a spawn site that is itself a budget primitive.
+func Granted(fn func()) {
+	done := make(chan struct{})
+	// ndetect:allow(budget) spends exactly one worker from the caller's
+	// grant and joins before returning.
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

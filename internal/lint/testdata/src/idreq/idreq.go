@@ -1,0 +1,62 @@
+// Package idreq mimics the exp.AnalysisRequest / service.jobKey pair for
+// the identityopt suite: every request field is either threaded through
+// Normalize, IdentityOptions and the job key, or carries an explicit
+// marker (DESIGN.md §10).
+package idreq
+
+import "fmt"
+
+// Options mirrors report.Options: the identity block of the result
+// document.
+type Options struct {
+	A int
+	B int
+}
+
+// Request mirrors exp.AnalysisRequest.
+type Request struct {
+	// Kind travels in the document envelope, not the Options block.
+	Kind string // ndetect:identity-envelope
+
+	A int
+	B int
+
+	Extra int // want "field Request.Extra is not threaded through both Normalize and IdentityOptions"
+
+	// Workers is operational state and never shapes the result.
+	Workers int // ndetect:nonidentity
+
+	Bad int // want "is referenced by IdentityOptions" // ndetect:nonidentity
+
+	Env2 string // want "envelope-identity field Request.Env2 is not referenced by Normalize" // ndetect:identity-envelope
+}
+
+// Normalize canonicalizes the identity fields. Extra and Env2 are
+// deliberately missing.
+func (r *Request) Normalize() error {
+	if r.Kind == "" {
+		r.Kind = "average"
+	}
+	if r.A <= 0 {
+		r.A = 10
+	}
+	if r.B <= 0 {
+		r.B = 1000
+	}
+	if r.Workers < 0 {
+		r.Workers = 0
+	}
+	_ = r.Bad
+	return nil
+}
+
+// IdentityOptions builds the identity block — and wrongly folds the
+// nonidentity-marked Bad into it.
+func (r *Request) IdentityOptions() Options {
+	return Options{A: r.A, B: r.B + r.Bad}
+}
+
+// jobKey mirrors service.jobKey and deliberately forgets B.
+func jobKey(hash string, r *Request) string { // want "jobKey does not reference identity field Request.B"
+	return fmt.Sprintf("%s|%s|%d", hash, r.Kind, r.A)
+}

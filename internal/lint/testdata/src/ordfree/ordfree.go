@@ -1,0 +1,14 @@
+// Package ordfree is maporder's scope-negative package: its name is not
+// in the identity-path set, so even a textbook violation is not flagged —
+// the analyzer polices encoded output, not every map range in the repo.
+package ordfree
+
+import "fmt"
+
+// Dump would be a finding inside report/encode/store/exp/service/fault;
+// here it is presentation-layer output outside the byte-identity contract.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,64 @@
+// Package report mimics the production identity-path package of the same
+// name for the maporder suite: map iteration order must never reach
+// encoded output (DESIGN.md §7).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EncodeUnsorted writes map entries in iteration order — the exact bug
+// class the analyzer exists for.
+func EncodeUnsorted(w *strings.Builder, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order reaches fmt.Fprintf"
+	}
+}
+
+// EncodeSorted is the sanctioned idiom: accumulate keys, sort, iterate.
+func EncodeSorted(w *strings.Builder, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// CollectUnsorted accumulates iteration-ordered values without ever
+// sorting them in this function.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "never sorted in CollectUnsorted"
+	}
+	return out
+}
+
+// WriteKeys leaks order through a Write-family method on the builder.
+func WriteKeys(w *strings.Builder, m map[string]bool) {
+	for k := range m {
+		w.WriteString(k) // want "map iteration order reaches w.WriteString"
+	}
+}
+
+// CountOnly never lets the iteration variables escape: order is dead.
+func CountOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// AllowedDebugDump is an acknowledged, reviewed exception.
+func AllowedDebugDump(m map[string]int) {
+	for k, v := range m {
+		// ndetect:allow(maporder) debug-only dump, never persisted or hashed
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

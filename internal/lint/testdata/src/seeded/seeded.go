@@ -1,0 +1,19 @@
+// Package ndetect is detrand's negative package: the sanctioned seeded
+// randomness pattern from internal/ndetect/procedure1.go — an explicit
+// rand.New(rand.NewSource(seed)) stream per unit of work — produces no
+// findings. Constructors pass; only draws from the global source are
+// ambient.
+package ndetect
+
+import "math/rand"
+
+// RunOne mirrors procedure1.go: every test set k draws from its own
+// (seed, k)-derived stream, so results are pure in the seed.
+func RunOne(seed int64, k int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed ^ (k * 0x9e3779b9)))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(2)
+	}
+	return out
+}

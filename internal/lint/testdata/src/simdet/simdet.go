@@ -1,0 +1,40 @@
+// Package sim mimics a result-computing package for the detrand suite:
+// ambient inputs — wall clock, environment, CPU count, unseeded global
+// randomness — must not influence results (DESIGN.md §7).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Stamp folds the wall clock into a result.
+func Stamp() string {
+	return time.Now().String() // want "time.Now is an ambient input"
+}
+
+// FromEnv reads configuration from the environment instead of an option.
+func FromEnv() string {
+	return os.Getenv("NDETECT_MODE") // want "os.Getenv is an ambient input"
+}
+
+// HostShaped lets the machine size leak into a computation.
+func HostShaped() int {
+	return runtime.GOMAXPROCS(0) // want "runtime.GOMAXPROCS is an ambient input"
+}
+
+// GlobalDraw uses the process-global, unseeded source.
+func GlobalDraw() int {
+	return rand.Intn(100) // want "rand.Intn is an ambient input"
+}
+
+// AllowedClock is the acknowledged store-recency pattern.
+func AllowedClock() {
+	// ndetect:allow(detrand) stamps cache recency metadata only, never
+	// result bytes.
+	now := time.Now()
+	fmt.Println(now)
+}

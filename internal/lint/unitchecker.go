@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The `go vet -vettool` backend.
+//
+// go vet drives an external tool through a small, undocumented-but-stable
+// protocol (cmd/go/internal/work.buildVetConfig): the tool is probed once
+// with `-flags` (a JSON description of its flags) and `-V=full` (a version
+// line keyed into the build cache), then invoked once per package with the
+// path to a JSON config file naming the package's sources and the export
+// data of its compiled dependencies. Dependencies are visited in
+// "VetxOnly" mode — go vet only wants their analysis facts, and since no
+// ndetectlint analyzer exchanges facts across packages, those runs write
+// an empty facts file and exit immediately; only the packages the user
+// actually named are parsed and analyzed.
+//
+// golang.org/x/tools/go/analysis/unitchecker is the reference
+// implementation of this protocol; this is the minimal stdlib-only subset
+// ndetectlint needs.
+
+// VetConfig mirrors cmd/go's vetConfig (the fields this tool consumes).
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string // source import path → canonical path
+	PackageFile map[string]string // canonical path → export data file
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetExitNoFindings and VetExitFindings are the unitchecker exit codes go
+// vet understands: nonzero fails the vet run and relays stderr.
+const (
+	VetExitNoFindings = 0
+	VetExitFindings   = 2
+)
+
+// Vet runs the analyzers under the go vet protocol for one package config
+// and returns the process exit code. Diagnostics go to w.
+func Vet(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "ndetectlint: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "ndetectlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// go vet caches the facts file for downstream packages; ndetectlint
+	// has no facts, so an empty one is always complete.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(w, "ndetectlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return VetExitNoFindings
+	}
+	if cfg.Compiler != "gc" {
+		fmt.Fprintf(w, "ndetectlint: unsupported compiler %q\n", cfg.Compiler)
+		return 1
+	}
+
+	target, err := typecheck(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, func(path string) (io.ReadCloser, error) {
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return VetExitNoFindings
+		}
+		fmt.Fprintf(w, "ndetectlint: %v\n", err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(target, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "ndetectlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return VetExitFindings
+	}
+	return VetExitNoFindings
+}

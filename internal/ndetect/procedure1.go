@@ -3,10 +3,10 @@ package ndetect
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"ndetect/internal/bitset"
+	"ndetect/internal/sim"
 )
 
 // Definition selects how Procedure 1 counts detections (paper Section 4).
@@ -73,9 +73,7 @@ func (o *Procedure1Options) normalize() error {
 	if o.Definition != Def1 && o.Definition != Def2 {
 		return fmt.Errorf("ndetect: unknown definition %d", o.Definition)
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = sim.ResolveWorkers(o.Workers)
 	return nil
 }
 
@@ -148,26 +146,20 @@ func Procedure1(u *Universe, opts Procedure1Options) (*Procedure1Result, error) 
 		})
 	}
 
+	// Fan the K independent test-set streams over the §5 worker budget.
+	// Every merge into res is commutative (counters under mu), so the
+	// work-stealing completion order never shows in the result bytes.
 	var mu sync.Mutex
-	var wg sync.WaitGroup
 	finished := 0
-	sem := make(chan struct{}, opts.Workers)
-	for k := 0; k < opts.K; k++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(k int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			runOne(u, &opts, k, fAt, gAt, res, &mu)
-			if opts.Progress != nil {
-				mu.Lock()
-				finished++
-				opts.Progress(finished, opts.K)
-				mu.Unlock()
-			}
-		}(k)
-	}
-	wg.Wait()
+	sim.ParallelFor(opts.Workers, opts.K, func(k int) {
+		runOne(u, &opts, k, fAt, gAt, res, &mu)
+		if opts.Progress != nil {
+			mu.Lock()
+			finished++
+			opts.Progress(finished, opts.K)
+			mu.Unlock()
+		}
+	})
 	return res, nil
 }
 

@@ -222,6 +222,11 @@ func Extract(c *circuit.Circuit, outputPositions []int) (*Part, error) {
 // fault identity (e.g. the bridge's node-name pair): for a fault seen by
 // several parts the smallest nmin wins, since a guarantee through any part
 // is a guarantee overall.
+// Iteration order over each per-part map is dead here: min is commutative
+// and associative, and the merged map is only ever read through sorted
+// accessors (MergedNames sorts; counting queries are order-free), so the
+// result is identical for every traversal order. maporder does not scope
+// package partition for the same reason — nothing here encodes bytes.
 func MergeNMin(perPart []map[string]int) map[string]int {
 	out := make(map[string]int)
 	for _, m := range perPart {

@@ -16,6 +16,8 @@ import (
 // worker count.
 func ResolveWorkers(workers int) int {
 	if workers <= 0 {
+		// ndetect:allow(detrand) the CPU count sizes the worker pool only;
+		// results are byte-identical for every worker count (see above).
 		return runtime.GOMAXPROCS(0)
 	}
 	return workers
@@ -42,6 +44,8 @@ func ParallelFor(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		// ndetect:allow(budget) ParallelFor IS the budget primitive: it
+		// spawns exactly the granted worker count and joins before returning.
 		go func() {
 			defer wg.Done()
 			for {

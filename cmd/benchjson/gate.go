@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// gateTolerance is the allowed relative regression of a gated ratio before
+// the gate fails: 0.20 means a run may be up to 20% below baseline.
+const gateTolerance = 0.20
+
+// memBandwidthName is the memcpy-baseline benchmark every gated throughput
+// is normalized against.
+const memBandwidthName = "MemBandwidth"
+
+// gatePrefix selects the benchmarks whose throughput is gated.
+const gatePrefix = "EngineStream/"
+
+// streamRatios extracts the machine-normalized throughput of every gated
+// benchmark in doc: MB/s of each EngineStream sub-benchmark divided by the
+// MB/s of the memcpy baseline measured in the same run. Dividing out the
+// memcpy bandwidth cancels machine speed and most co-tenant noise, so the
+// ratios are comparable across hosts — a CI runner is gated against a
+// baseline recorded on a different machine.
+// Runs recorded with -count N contribute N samples per benchmark; the best
+// sample wins on both sides of the ratio, which filters out co-tenant
+// noise troughs without averaging them in.
+func streamRatios(doc *Document) (map[string]float64, error) {
+	var membw float64
+	best := map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		if b.Name == memBandwidthName {
+			membw = max(membw, b.Metrics["MB/s"])
+		}
+		if strings.HasPrefix(b.Name, gatePrefix) {
+			best[b.Name] = max(best[b.Name], b.Metrics["MB/s"])
+		}
+	}
+	if membw <= 0 {
+		return nil, fmt.Errorf("no %s MB/s in document (run with -bench 'EngineStream|MemBandwidth')", memBandwidthName)
+	}
+	ratios := map[string]float64{}
+	for name, mbs := range best {
+		if mbs <= 0 {
+			return nil, fmt.Errorf("benchmark %s has no MB/s metric", name)
+		}
+		ratios[name] = mbs / membw
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("no %s* benchmarks in document", gatePrefix)
+	}
+	return ratios, nil
+}
+
+// runGate compares the current run against the baseline document at path
+// and returns an error describing every regression beyond gateTolerance.
+// Every benchmark gated in the baseline must be present in the current
+// run — silently losing coverage would wave future regressions through.
+func runGate(doc *Document, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseRatios, err := streamRatios(&base)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	curRatios, err := streamRatios(doc)
+	if err != nil {
+		return fmt.Errorf("current run: %w", err)
+	}
+
+	names := make([]string, 0, len(baseRatios))
+	for name := range baseRatios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Fprintf(os.Stderr, "perf gate (tolerance %.0f%%, ratio = MB/s ÷ memcpy MB/s):\n", gateTolerance*100)
+	for _, name := range names {
+		want := baseRatios[name]
+		got, ok := curRatios[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated in baseline but missing from this run", name))
+			continue
+		}
+		delta := (got - want) / want
+		status := "ok"
+		if got < want*(1-gateTolerance) {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: ratio %.4f is %.1f%% below baseline %.4f", name, got, -delta*100, want))
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s baseline %.4f  current %.4f  (%+.1f%%)  %s\n", name, want, got, delta*100, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("stream throughput regressed beyond %.0f%%:\n  %s", gateTolerance*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}

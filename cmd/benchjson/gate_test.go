@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(pairs map[string]float64) *Document {
+	d := &Document{}
+	for name, mbs := range pairs {
+		d.Benchmarks = append(d.Benchmarks, Result{
+			Name:    name,
+			NsPerOp: 1,
+			Metrics: map[string]float64{"MB/s": mbs},
+		})
+	}
+	return d
+}
+
+func writeBaseline(t *testing.T, d *Document) string {
+	t.Helper()
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStreamRatiosNormalizeByMemcpy(t *testing.T) {
+	r, err := streamRatios(doc(map[string]float64{
+		"MemBandwidth":     10000,
+		"EngineStream/w64": 700,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r["EngineStream/w64"]; got != 0.07 {
+		t.Fatalf("ratio = %v, want 0.07", got)
+	}
+}
+
+func TestStreamRatiosTakeBestSample(t *testing.T) {
+	// -count N emits duplicate names; the best sample must win on both
+	// sides of the ratio.
+	d := doc(map[string]float64{"MemBandwidth": 8000})
+	d.Benchmarks = append(d.Benchmarks,
+		Result{Name: "MemBandwidth", NsPerOp: 1, Metrics: map[string]float64{"MB/s": 12000}},
+		Result{Name: "EngineStream/w64", NsPerOp: 1, Metrics: map[string]float64{"MB/s": 400}},
+		Result{Name: "EngineStream/w64", NsPerOp: 1, Metrics: map[string]float64{"MB/s": 600}},
+	)
+	r, err := streamRatios(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r["EngineStream/w64"]; got != 0.05 {
+		t.Fatalf("ratio = %v, want 600/12000 = 0.05", got)
+	}
+}
+
+func TestStreamRatiosRejectIncompleteRuns(t *testing.T) {
+	if _, err := streamRatios(doc(map[string]float64{"EngineStream/w64": 700})); err == nil {
+		t.Fatal("missing MemBandwidth accepted")
+	}
+	if _, err := streamRatios(doc(map[string]float64{"MemBandwidth": 10000})); err == nil {
+		t.Fatal("run with no gated benchmarks accepted")
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, doc(map[string]float64{
+		"MemBandwidth":       10000,
+		"EngineStream/w64":   700,
+		"EngineStream/bbara": 300,
+	}))
+	// 15% down on one, 10% up on the other: both inside the 20% band.
+	cur := doc(map[string]float64{
+		"MemBandwidth":       10000,
+		"EngineStream/w64":   595,
+		"EngineStream/bbara": 330,
+	})
+	if err := runGate(cur, base); err != nil {
+		t.Fatalf("gate failed inside tolerance: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, doc(map[string]float64{
+		"MemBandwidth":     10000,
+		"EngineStream/w64": 700,
+	}))
+	cur := doc(map[string]float64{
+		"MemBandwidth":     10000,
+		"EngineStream/w64": 500, // -28.6%
+	})
+	err := runGate(cur, base)
+	if err == nil || !strings.Contains(err.Error(), "EngineStream/w64") {
+		t.Fatalf("gate did not flag the regression: %v", err)
+	}
+}
+
+func TestGateCancelsMachineSpeed(t *testing.T) {
+	// A uniformly slower machine (half the memcpy bandwidth, half the
+	// stream throughput) must pass: the ratio is unchanged.
+	base := writeBaseline(t, doc(map[string]float64{
+		"MemBandwidth":     12000,
+		"EngineStream/w64": 700,
+	}))
+	cur := doc(map[string]float64{
+		"MemBandwidth":     6000,
+		"EngineStream/w64": 350,
+	})
+	if err := runGate(cur, base); err != nil {
+		t.Fatalf("gate failed on a uniformly slower machine: %v", err)
+	}
+}
+
+func TestGateFailsOnLostCoverage(t *testing.T) {
+	base := writeBaseline(t, doc(map[string]float64{
+		"MemBandwidth":       10000,
+		"EngineStream/w64":   700,
+		"EngineStream/bbara": 300,
+	}))
+	cur := doc(map[string]float64{
+		"MemBandwidth":     10000,
+		"EngineStream/w64": 700,
+	})
+	err := runGate(cur, base)
+	if err == nil || !strings.Contains(err.Error(), "bbara") {
+		t.Fatalf("gate did not flag missing gated benchmark: %v", err)
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	go test -run '^$' -bench . -benchtime 1x . | benchjson > bench.json
 //	benchjson -tag pr123 < bench.txt
+//	benchjson -gate benchmarks/baseline.json < bench.txt
+//
+// With -gate, the parsed run is additionally checked against a committed
+// baseline document: the streaming kernel's throughput, normalized by the
+// same run's memcpy bandwidth, must stay within gateTolerance of the
+// baseline ratio (see gate.go). A regression exits non-zero, failing CI.
 //
 // Non-benchmark lines (test output, PASS/ok) pass through to stderr with
 // -echo, and are dropped otherwise. Context lines (goos/goarch/pkg/cpu) are
@@ -49,6 +55,7 @@ type Document struct {
 func main() {
 	tag := flag.String("tag", "", "optional run label recorded in the document")
 	echo := flag.Bool("echo", false, "echo non-benchmark lines to stderr")
+	gate := flag.String("gate", "", "baseline JSON to gate stream throughput against (see gate.go); non-zero exit on regression")
 	flag.Parse()
 
 	doc := Document{Tag: *tag, Context: map[string]string{}, Benchmarks: []Result{}}
@@ -78,6 +85,13 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *gate != "" {
+		if err := runGate(&doc, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: perf gate:", err)
+			os.Exit(1)
+		}
 	}
 }
 

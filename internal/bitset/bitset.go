@@ -37,6 +37,26 @@ func New(size int) *Set {
 	}
 }
 
+// NewBatch returns n empty sets over the same universe backed by two
+// allocations (one word slab, one header array) instead of 2n. Analyses
+// that materialize one result set per fault use it so the allocation count
+// and GC scan work stay independent of the fault count; the returned sets
+// are otherwise ordinary and independently mutable.
+func NewBatch(size, n int) []*Set {
+	if size < 0 {
+		panic("bitset: negative universe size")
+	}
+	words := (size + wordBits - 1) / wordBits
+	slab := make([]uint64, n*words)
+	hdrs := make([]Set, n)
+	out := make([]*Set, n)
+	for i := range hdrs {
+		hdrs[i] = Set{size: size, words: slab[i*words : (i+1)*words : (i+1)*words]}
+		out[i] = &hdrs[i]
+	}
+	return out
+}
+
 // FromMembers returns a set over {0,...,size-1} containing exactly the given
 // members.
 func FromMembers(size int, members ...int) *Set {
@@ -63,6 +83,82 @@ func (s *Set) SetWord(w int, v uint64) {
 		}
 	}
 	s.words[w] = v
+}
+
+// maskTail re-masks the final word after a range store ending at word hi,
+// preserving the invariant that bits beyond the universe size stay zero.
+func (s *Set) maskTail(hi int) {
+	if hi == len(s.words) {
+		if rem := s.size % wordBits; rem != 0 {
+			s.words[hi-1] &= (uint64(1) << rem) - 1
+		}
+	}
+}
+
+// SetRange overwrites words [lo, lo+len(p)) with p, masking bits beyond
+// the universe size. The range stores exist for the streaming emit path:
+// one call per (fault, block) instead of one SetWord call per word.
+func (s *Set) SetRange(lo int, p []uint64) {
+	copy(s.words[lo:lo+len(p)], p)
+	s.maskTail(lo + len(p))
+}
+
+// SetRangeNot overwrites words [lo, lo+len(p)) with ^p[w].
+func (s *Set) SetRangeNot(lo int, p []uint64) {
+	dst := s.words[lo : lo+len(p)]
+	for w := range dst {
+		dst[w] = ^p[w]
+	}
+	s.maskTail(lo + len(p))
+}
+
+// SetRangeAnd overwrites words [lo, lo+len(p)) with p[w] & m[w].
+func (s *Set) SetRangeAnd(lo int, p, m []uint64) {
+	dst := s.words[lo : lo+len(p)]
+	p, m = p[:len(dst)], m[:len(dst)]
+	for w := range dst {
+		dst[w] = p[w] & m[w]
+	}
+	s.maskTail(lo + len(p))
+}
+
+// SetRangeAndNot overwrites words [lo, lo+len(p)) with p[w] &^ m[w].
+func (s *Set) SetRangeAndNot(lo int, p, m []uint64) {
+	dst := s.words[lo : lo+len(p)]
+	p, m = p[:len(dst)], m[:len(dst)]
+	for w := range dst {
+		dst[w] = p[w] &^ m[w]
+	}
+	s.maskTail(lo + len(p))
+}
+
+// SplitRangeAnd overwrites andSet's words [lo, lo+len(p)) with p[w] & m[w]
+// and andNotSet's with p[w] &^ m[w] in one pass over the operands. The
+// paired stuck-at emit (sa0 activated where the good value is 1, sa1 where
+// it is 0) is the hot caller: one line's propagation block splits into both
+// polarities' T-sets reading p and m once instead of twice.
+func SplitRangeAnd(andSet, andNotSet *Set, lo int, p, m []uint64) {
+	da := andSet.words[lo : lo+len(p)]
+	dn := andNotSet.words[lo : lo+len(da)]
+	p, m = p[:len(da)], m[:len(da)]
+	for w := range da {
+		pw, mw := p[w], m[w]
+		da[w] = pw & mw
+		dn[w] = pw &^ mw
+	}
+	andSet.maskTail(lo + len(p))
+	andNotSet.maskTail(lo + len(p))
+}
+
+// SetRangeAndAndNot overwrites words [lo, lo+len(p)) with
+// p[w] & a[w] &^ b[w].
+func (s *Set) SetRangeAndAndNot(lo int, p, a, b []uint64) {
+	dst := s.words[lo : lo+len(p)]
+	a, b = a[:len(p)], b[:len(p)]
+	for w := range dst {
+		dst[w] = p[w] & a[w] &^ b[w]
+	}
+	s.maskTail(lo + len(p))
 }
 
 func (s *Set) check(i int) {

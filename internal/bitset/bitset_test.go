@@ -310,3 +310,107 @@ func TestNthUniformCoverage(t *testing.T) {
 		}
 	}
 }
+
+func TestNewBatchIndependentSets(t *testing.T) {
+	sets := NewBatch(130, 5)
+	if len(sets) != 5 {
+		t.Fatalf("NewBatch returned %d sets, want 5", len(sets))
+	}
+	for i, s := range sets {
+		if s.Size() != 130 || !s.IsEmpty() {
+			t.Fatalf("set %d: size %d empty=%v", i, s.Size(), s.IsEmpty())
+		}
+	}
+	// Mutations must not leak across slab neighbors, including via
+	// Fill's full-word writes right at the slab boundaries.
+	sets[1].Fill()
+	sets[3].Add(0)
+	sets[3].Add(129)
+	if !sets[0].IsEmpty() || !sets[2].IsEmpty() || !sets[4].IsEmpty() {
+		t.Fatal("mutating one batch set leaked into a neighbor")
+	}
+	if got := sets[1].Count(); got != 130 {
+		t.Fatalf("filled batch set has %d members, want 130", got)
+	}
+	if got := sets[3].Members(); len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Fatalf("batch set members = %v, want [0 129]", got)
+	}
+	// Batch sets interoperate with ordinary sets.
+	if !sets[3].SubsetOf(sets[1]) || sets[1].IntersectionCount(New(130)) != 0 {
+		t.Fatal("batch sets do not interoperate with New sets")
+	}
+	if NewBatch(64, 0) == nil {
+		t.Fatal("NewBatch(_, 0) = nil, want empty slice")
+	}
+}
+
+func TestRangeStoresMatchSetWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		size := 1 + rng.Intn(400)
+		words := (size + 63) / 64
+		lo := rng.Intn(words)
+		n := 1 + rng.Intn(words-lo)
+		p := make([]uint64, n)
+		m := make([]uint64, n)
+		q := make([]uint64, n)
+		for i := range p {
+			p[i], m[i], q[i] = rng.Uint64(), rng.Uint64(), rng.Uint64()
+		}
+
+		type op struct {
+			name  string
+			bulk  func(s *Set)
+			wordy func(i int) uint64
+		}
+		ops := []op{
+			{"SetRange", func(s *Set) { s.SetRange(lo, p) }, func(i int) uint64 { return p[i] }},
+			{"SetRangeNot", func(s *Set) { s.SetRangeNot(lo, p) }, func(i int) uint64 { return ^p[i] }},
+			{"SetRangeAnd", func(s *Set) { s.SetRangeAnd(lo, p, m) }, func(i int) uint64 { return p[i] & m[i] }},
+			{"SetRangeAndNot", func(s *Set) { s.SetRangeAndNot(lo, p, m) }, func(i int) uint64 { return p[i] &^ m[i] }},
+			{"SetRangeAndAndNot", func(s *Set) { s.SetRangeAndAndNot(lo, p, m, q) }, func(i int) uint64 { return p[i] & m[i] &^ q[i] }},
+		}
+		for _, o := range ops {
+			got := New(size)
+			o.bulk(got)
+			want := New(size)
+			for i := 0; i < n; i++ {
+				want.SetWord(lo+i, o.wordy(i))
+			}
+			if !got.Equal(want) {
+				t.Fatalf("size %d lo %d n %d: %s diverges from SetWord reference", size, lo, n, o.name)
+			}
+		}
+
+		// SplitRangeAnd must equal the And/AndNot pair it replaces.
+		sa0, sa1 := New(size), New(size)
+		SplitRangeAnd(sa0, sa1, lo, p, m)
+		w0, w1 := New(size), New(size)
+		w0.SetRangeAnd(lo, p, m)
+		w1.SetRangeAndNot(lo, p, m)
+		if !sa0.Equal(w0) || !sa1.Equal(w1) {
+			t.Fatalf("size %d lo %d n %d: SplitRangeAnd diverges from And/AndNot pair", size, lo, n)
+		}
+	}
+}
+
+func TestRangeStoresMaskTail(t *testing.T) {
+	// A full-word store into the final partial word must not create
+	// phantom members beyond the universe.
+	s := New(70) // 2 words, 6 live bits in the tail
+	ones := []uint64{^uint64(0), ^uint64(0)}
+	s.SetRange(0, ones)
+	if got := s.Count(); got != 70 {
+		t.Fatalf("SetRange all-ones: %d members, want 70", got)
+	}
+	s.Clear()
+	s.SetRangeNot(0, make([]uint64, 2))
+	if got := s.Count(); got != 70 {
+		t.Fatalf("SetRangeNot of zeros: %d members, want 70", got)
+	}
+	a, b := New(70), New(70)
+	SplitRangeAnd(a, b, 0, ones, make([]uint64, 2))
+	if a.Count() != 0 || b.Count() != 70 {
+		t.Fatalf("SplitRangeAnd tail: %d/%d members, want 0/70", a.Count(), b.Count())
+	}
+}

@@ -36,7 +36,9 @@ import (
 type Op uint8
 
 // The instruction set. OpConst* take no operands, OpCopy/OpNot take one
-// (A), the rest take two (A, B).
+// (A), the rest take two (A, B). The compiler (emitNode) only produces the
+// first ten; the opcodes below opXnor exist solely as targets of the
+// peephole fusion pass (fuse.go) and are interpreted at all three widths.
 const (
 	OpConst0 Op = iota
 	OpConst1
@@ -48,9 +50,27 @@ const (
 	OpNor
 	OpXor
 	OpXnor
+
+	// Complemented-first-operand pairs: a NOT fused into its consumer.
+	OpAndN // dst = ^a & b
+	OpOrN  // dst = ^a | b
+
+	// Accumulator forms: a chain step whose first operand is its own
+	// destination (dst = dst OP b). A is kept equal to Dst so width-agnostic
+	// interpreters may treat them as their plain binary counterparts; the
+	// word interpreter uses dedicated read-modify-write kernels.
+	OpAndAcc
+	OpNandAcc
+	OpOrAcc
+	OpNorAcc
+	OpXorAcc
+	OpXnorAcc
 )
 
-var opNames = [...]string{"const0", "const1", "copy", "not", "and", "nand", "or", "nor", "xor", "xnor"}
+var opNames = [...]string{
+	"const0", "const1", "copy", "not", "and", "nand", "or", "nor", "xor", "xnor",
+	"andn", "orn", "and.acc", "nand.acc", "or.acc", "nor.acc", "xor.acc", "xnor.acc",
+}
 
 // String returns the opcode mnemonic.
 func (o Op) String() string {
@@ -286,5 +306,17 @@ func Compile(c *circuit.Circuit, keep []int) *Program {
 	for i, id := range c.Outputs {
 		p.OutputReg[i] = reg[id]
 	}
+	// Peephole fusion: forward copies, fold NOTs into their neighbors,
+	// convert accumulator steps to in-place opcodes, drop dead definitions.
+	// Pinned registers (outputs ∪ keep) survive with their values intact;
+	// CompileAll never fuses because it promises per-node instruction
+	// ranges.
+	liveOut := make([]int32, 0, len(p.OutputReg)+len(keep))
+	liveOut = append(liveOut, p.OutputReg...)
+	for _, k := range keep {
+		liveOut = append(liveOut, p.NodeReg[k])
+	}
+	var fz fuser
+	p.Instrs = fz.fuse(p.Instrs, p.NumRegs, liveOut, nil)
 	return p
 }

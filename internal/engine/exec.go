@@ -68,50 +68,41 @@ func (x *Exec) Eval(lo, hi int) {
 		dst := x.Reg(ins.Dst)
 		switch ins.Op {
 		case OpConst0:
-			for w := range dst {
-				dst[w] = 0
-			}
+			fillWords(dst, 0)
 		case OpConst1:
-			for w := range dst {
-				dst[w] = ^uint64(0)
-			}
+			fillWords(dst, ^uint64(0))
 		case OpCopy:
 			copy(dst, x.Reg(ins.A))
 		case OpNot:
-			a := x.Reg(ins.A)
-			for w := range dst {
-				dst[w] = ^a[w]
-			}
+			notWords(dst, x.Reg(ins.A))
 		case OpAnd:
-			a, b := x.Reg(ins.A), x.Reg(ins.B)
-			for w := range dst {
-				dst[w] = a[w] & b[w]
-			}
+			andWords(dst, x.Reg(ins.A), x.Reg(ins.B))
 		case OpNand:
-			a, b := x.Reg(ins.A), x.Reg(ins.B)
-			for w := range dst {
-				dst[w] = ^(a[w] & b[w])
-			}
+			nandWords(dst, x.Reg(ins.A), x.Reg(ins.B))
 		case OpOr:
-			a, b := x.Reg(ins.A), x.Reg(ins.B)
-			for w := range dst {
-				dst[w] = a[w] | b[w]
-			}
+			orWords(dst, x.Reg(ins.A), x.Reg(ins.B))
 		case OpNor:
-			a, b := x.Reg(ins.A), x.Reg(ins.B)
-			for w := range dst {
-				dst[w] = ^(a[w] | b[w])
-			}
+			norWords(dst, x.Reg(ins.A), x.Reg(ins.B))
 		case OpXor:
-			a, b := x.Reg(ins.A), x.Reg(ins.B)
-			for w := range dst {
-				dst[w] = a[w] ^ b[w]
-			}
+			xorWords(dst, x.Reg(ins.A), x.Reg(ins.B))
 		case OpXnor:
-			a, b := x.Reg(ins.A), x.Reg(ins.B)
-			for w := range dst {
-				dst[w] = ^(a[w] ^ b[w])
-			}
+			xnorWords(dst, x.Reg(ins.A), x.Reg(ins.B))
+		case OpAndN:
+			andnWords(dst, x.Reg(ins.A), x.Reg(ins.B))
+		case OpOrN:
+			ornWords(dst, x.Reg(ins.A), x.Reg(ins.B))
+		case OpAndAcc:
+			andAccWords(dst, x.Reg(ins.B))
+		case OpNandAcc:
+			nandAccWords(dst, x.Reg(ins.B))
+		case OpOrAcc:
+			orAccWords(dst, x.Reg(ins.B))
+		case OpNorAcc:
+			norAccWords(dst, x.Reg(ins.B))
+		case OpXorAcc:
+			xorAccWords(dst, x.Reg(ins.B))
+		case OpXnorAcc:
+			xnorAccWords(dst, x.Reg(ins.B))
 		default:
 			panic(fmt.Sprintf("engine: unknown op %v", ins.Op))
 		}
@@ -198,6 +189,22 @@ func scalarRun(instrs []Instr, regs []bool) {
 			regs[ins.Dst] = regs[ins.A] != regs[ins.B]
 		case OpXnor:
 			regs[ins.Dst] = regs[ins.A] == regs[ins.B]
+		case OpAndN:
+			regs[ins.Dst] = !regs[ins.A] && regs[ins.B]
+		case OpOrN:
+			regs[ins.Dst] = !regs[ins.A] || regs[ins.B]
+		case OpAndAcc:
+			regs[ins.Dst] = regs[ins.A] && regs[ins.B]
+		case OpNandAcc:
+			regs[ins.Dst] = !(regs[ins.A] && regs[ins.B])
+		case OpOrAcc:
+			regs[ins.Dst] = regs[ins.A] || regs[ins.B]
+		case OpNorAcc:
+			regs[ins.Dst] = !(regs[ins.A] || regs[ins.B])
+		case OpXorAcc:
+			regs[ins.Dst] = regs[ins.A] != regs[ins.B]
+		case OpXnorAcc:
+			regs[ins.Dst] = regs[ins.A] == regs[ins.B]
 		default:
 			panic(fmt.Sprintf("engine: unknown op %v", ins.Op))
 		}
@@ -237,6 +244,23 @@ func (p *Program) ExecTV(ids []int, p1, p0 []uint64) {
 			case OpXor:
 				p1[d], p0[d] = (a1&b0)|(a0&b1), (a1&b1)|(a0&b0)
 			case OpXnor:
+				p1[d], p0[d] = (a1&b1)|(a0&b0), (a1&b0)|(a0&b1)
+			case OpAndN:
+				// AND with a complemented first operand: swap a's rails.
+				p1[d], p0[d] = a0&b1, a1|b0
+			case OpOrN:
+				p1[d], p0[d] = a0|b1, a1&b0
+			case OpAndAcc:
+				p1[d], p0[d] = a1&b1, a0|b0
+			case OpNandAcc:
+				p1[d], p0[d] = a0|b0, a1&b1
+			case OpOrAcc:
+				p1[d], p0[d] = a1|b1, a0&b0
+			case OpNorAcc:
+				p1[d], p0[d] = a0&b0, a1|b1
+			case OpXorAcc:
+				p1[d], p0[d] = (a1&b0)|(a0&b1), (a1&b1)|(a0&b0)
+			case OpXnorAcc:
 				p1[d], p0[d] = (a1&b1)|(a0&b0), (a1&b0)|(a0&b1)
 			default:
 				panic(fmt.Sprintf("engine: unknown op %v", ins.Op))

@@ -135,16 +135,11 @@ func RunRetained(c *Circuit, workers int) (*Exhaustive, error) {
 		return nil, err
 	}
 	size := c.VectorSpaceSize()
-	e.Values = make([]*bitset.Set, c.NumNodes())
-	for i := range e.Values {
-		e.Values[i] = bitset.New(size)
-	}
+	e.Values = bitset.NewBatch(size, c.NumNodes())
 	nWords := universeWords(size)
 	streamBlocks(e.prog, e.Workers, nWords, blockWordsFor(nWords, e.Workers), func(lo, hi int, x *engine.Exec) {
 		for id, set := range e.Values {
-			for w, v := range x.Node(id) {
-				set.SetWord(lo+w, v)
-			}
+			set.SetRange(lo, x.Node(id))
 		}
 	})
 	return e, nil
@@ -169,16 +164,68 @@ func streamBlocks(prog *engine.Program, workers, nWords, blockWords int, emit fu
 	})
 }
 
+// newConeCompiler returns a cone compiler configured for this universe:
+// fusion is disabled for small (one-block) universes, where each cone is
+// replayed exactly once and the pass would cost more compile time than the
+// replay saves. Replayed values are identical either way, so the cone cache
+// never mixes semantics — only instruction encodings.
+func (e *Exhaustive) newConeCompiler() *engine.ConeCompiler {
+	cc := e.prog.NewConeCompiler()
+	if universeWords(e.Circuit.VectorSpaceSize()) <= smallUniverseWords {
+		cc.SetFusion(false)
+	}
+	return cc
+}
+
 // coneFor returns the compiled fanout cone of a line, cached per line.
 func (e *Exhaustive) coneFor(id int) *engine.ConeProgram {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cp := e.cones[id]
 	if cp == nil {
-		cp = e.prog.CompileCone(id)
+		cp = e.newConeCompiler().Compile([]int{id})
 		e.cones[id] = cp
 	}
 	return cp
+}
+
+// conesFor returns the compiled fanout cones of all requested lines,
+// compiling cache misses as one parallel batch with pooled compiler
+// scratch (engine.ConeCompiler reuses its node-count marking arrays across
+// an epoch counter, so a warm batch allocates only the programs
+// themselves). Compilation is a pure function of (program, line), so the
+// cached cones are identical for every worker count and batch order.
+func (e *Exhaustive) conesFor(lines []int) []*engine.ConeProgram {
+	cps := make([]*engine.ConeProgram, len(lines))
+	var missing []int
+	e.mu.Lock()
+	for i, id := range lines {
+		if cp := e.cones[id]; cp != nil {
+			cps[i] = cp
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	e.mu.Unlock()
+	if len(missing) == 0 {
+		return cps
+	}
+	var pool sync.Pool
+	ParallelFor(e.Workers, len(missing), func(k int) {
+		cc, _ := pool.Get().(*engine.ConeCompiler)
+		if cc == nil {
+			cc = e.newConeCompiler()
+		}
+		i := missing[k]
+		cps[i] = cc.Compile([]int{lines[i]})
+		pool.Put(cc)
+	})
+	e.mu.Lock()
+	for _, i := range missing {
+		e.cones[lines[i]] = cps[i]
+	}
+	e.mu.Unlock()
+	return cps
 }
 
 // Value returns the good value of node id at vector v. It requires a
@@ -210,16 +257,11 @@ func (e *Exhaustive) OutputVectors() ([]*bitset.Set, error) {
 	}
 	prog := engine.Compile(c, nil)
 	size := c.VectorSpaceSize()
-	out := make([]*bitset.Set, len(c.Outputs))
-	for i := range out {
-		out[i] = bitset.New(size)
-	}
+	out := bitset.NewBatch(size, len(c.Outputs))
 	nWords := universeWords(size)
 	streamBlocks(prog, e.Workers, nWords, blockWordsFor(nWords, e.Workers), func(lo, hi int, x *engine.Exec) {
 		for i, r := range prog.OutputReg {
-			for w, v := range x.Reg(r) {
-				out[i].SetWord(lo+w, v)
-			}
+			out[i].SetRange(lo, x.Reg(r))
 		}
 	})
 	return out, nil

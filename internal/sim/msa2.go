@@ -46,47 +46,55 @@ func msa2ModelTSets(e *Exhaustive, targets, untargeted []fault.Descriptor,
 func (e *Exhaustive) pairStuckAtTSets(pairs []fault.Descriptor) []*bitset.Set {
 	size := e.Circuit.VectorSpaceSize()
 	nWords := universeWords(size)
-	out := make([]*bitset.Set, len(pairs))
-	for i := range out {
-		out[i] = bitset.New(size)
-	}
+	out := bitset.NewBatch(size, len(pairs))
 	if len(pairs) == 0 {
 		return out
 	}
 
 	if nWords <= smallUniverseWords {
 		// One shared good block; pairs fan out, each worker compiling and
-		// discarding its pair's union cone (compilation is cheap next to
-		// the replay at these sizes, and nothing is retained).
+		// discarding its pair's union cone with pooled compiler scratch
+		// (compilation is cheap next to the replay at these sizes, and
+		// nothing is retained).
 		x := engine.NewExec(e.prog, nWords)
 		x.Eval(0, nWords)
 		var pool sync.Pool
 		ParallelFor(e.Workers, len(pairs), func(pi int) {
-			s, _ := pool.Get().(*lineScratch)
+			s, _ := pool.Get().(*pairScratch)
 			if s == nil {
-				s = &lineScratch{cx: engine.NewConeExec(nWords), prop: make([]uint64, nWords)}
+				s = &pairScratch{
+					cc:   e.newConeCompiler(),
+					cx:   engine.NewConeExec(nWords),
+					prop: make([]uint64, nWords),
+				}
 			}
 			d := pairs[pi]
-			cp := e.prog.CompileCones([]int{int(d.A), int(d.B)})
-			s.cx.RunForced(cp, x, []bool{d.V&1 != 0, d.V&2 != 0})
-			clear(s.prop)
-			s.cx.OrProp(cp, s.prop, x)
-			for w, pw := range s.prop {
-				out[pi].SetWord(w, pw)
-			}
+			cp := s.cc.Compile([]int{int(d.A), int(d.B)})
+			s.cx.PropForcedInto(cp, x, []bool{d.V&1 != 0, d.V&2 != 0}, s.prop)
+			out[pi].SetRange(0, s.prop)
 			pool.Put(s)
 		})
 		return out
 	}
 
-	// Large universe: blocks fan out; cones are precompiled once so the
-	// per-block loop only replays. (CheckResultBudget already bounds the
-	// pair count at these universe sizes — the T-sets alone dwarf the
-	// compiled cones.)
+	// Large universe: blocks fan out; cones are precompiled once (batched,
+	// with pooled compiler scratch) so the per-block loop only replays.
+	// (CheckResultBudget already bounds the pair count at these universe
+	// sizes — the T-sets alone dwarf the compiled cones.)
 	cps := make([]*engine.ConeProgram, len(pairs))
+	var ccPool sync.Pool
 	ParallelFor(e.Workers, len(pairs), func(pi int) {
-		cps[pi] = e.prog.CompileCones([]int{int(pairs[pi].A), int(pairs[pi].B)})
+		cc, _ := ccPool.Get().(*engine.ConeCompiler)
+		if cc == nil {
+			cc = e.newConeCompiler()
+		}
+		cps[pi] = cc.Compile([]int{int(pairs[pi].A), int(pairs[pi].B)})
+		ccPool.Put(cc)
 	})
+	maxRegs := 0
+	for _, cp := range cps {
+		maxRegs = max(maxRegs, cp.NumRegs)
+	}
 	blockWords := blockWordsFor(nWords, e.Workers)
 	var pool sync.Pool
 	streamBlocks(e.prog, e.Workers, nWords, blockWords, func(lo, hi int, x *engine.Exec) {
@@ -96,18 +104,23 @@ func (e *Exhaustive) pairStuckAtTSets(pairs []fault.Descriptor) []*bitset.Set {
 				cx:   engine.NewConeExec(min(blockWords, nWords)),
 				prop: make([]uint64, blockWords),
 			}
+			s.cx.Reserve(maxRegs)
 		}
 		for pi, cp := range cps {
 			d := pairs[pi]
-			s.cx.RunForced(cp, x, []bool{d.V&1 != 0, d.V&2 != 0})
 			prop := s.prop[:hi-lo]
-			clear(prop)
-			s.cx.OrProp(cp, prop, x)
-			for w, pw := range prop {
-				out[pi].SetWord(lo+w, pw)
-			}
+			s.cx.PropForcedInto(cp, x, []bool{d.V&1 != 0, d.V&2 != 0}, prop)
+			out[pi].SetRange(lo, prop)
 		}
 		pool.Put(s)
 	})
 	return out
+}
+
+// pairScratch is the per-worker scratch of the small-universe msa2 path:
+// cone compiler, replay context, and propagation buffer, pooled together.
+type pairScratch struct {
+	cc   *engine.ConeCompiler
+	cx   *engine.ConeExec
+	prop []uint64
 }

@@ -32,14 +32,9 @@ func (e *Exhaustive) PropMasks(ids []int) map[int]*bitset.Set {
 	uniq = slices.Compact(uniq)
 
 	size := e.Circuit.VectorSpaceSize()
-	sets := make([]*bitset.Set, len(uniq))
-	for i := range sets {
-		sets[i] = bitset.New(size)
-	}
+	sets := bitset.NewBatch(size, len(uniq))
 	e.streamLines(uniq, func(li, lo int, prop []uint64, _ *engine.Exec) {
-		for w, pw := range prop {
-			sets[li].SetWord(lo+w, pw)
-		}
+		sets[li].SetRange(lo, prop)
 	})
 
 	out := make(map[int]*bitset.Set, len(uniq))

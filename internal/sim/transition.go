@@ -103,27 +103,19 @@ func transitionFactors(e *Exhaustive, faults []fault.Descriptor) (dets, inits []
 	lines, faultsOf := groupByLine(lineOf)
 
 	size := e.Circuit.VectorSpaceSize()
-	dets = make([]*bitset.Set, len(faults))
-	inits = make([]*bitset.Set, len(faults))
-	for i := range faults {
-		dets[i] = bitset.New(size)
-		inits[i] = bitset.New(size)
-	}
+	dets = bitset.NewBatch(size, len(faults))
+	inits = bitset.NewBatch(size, len(faults))
 	e.streamLines(lines, func(li, lo int, prop []uint64, x *engine.Exec) {
 		good := x.Node(lines[li])
 		for _, fi := range faultsOf[li] {
 			det, init := dets[fi], inits[fi]
 			if faults[fi].V != 0 {
 				// Slow-to-fall: starts at 1, detected as stuck-at-1.
-				for w, pw := range prop {
-					det.SetWord(lo+w, pw&^good[w])
-					init.SetWord(lo+w, good[w])
-				}
+				det.SetRangeAndNot(lo, prop, good)
+				init.SetRange(lo, good)
 			} else {
-				for w, pw := range prop {
-					det.SetWord(lo+w, pw&good[w])
-					init.SetWord(lo+w, ^good[w])
-				}
+				det.SetRangeAnd(lo, prop, good)
+				init.SetRangeNot(lo, good)
 			}
 		}
 	})

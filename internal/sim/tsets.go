@@ -12,17 +12,27 @@ import (
 // groupByLine maps a per-fault line list onto its sorted deduplicated line
 // set plus, per line, the indices of the faults on it — so each line's
 // fanout cone is replayed once per block no matter how many faults share it.
+// The buckets share one backing array: grouping is on every analysis's
+// setup path and must not allocate per line.
 func groupByLine(lineOf []int) (lines []int, faultsOf [][]int) {
 	lines = append([]int(nil), lineOf...)
 	sort.Ints(lines)
 	lines = slices.Compact(lines)
-	at := make(map[int]int, len(lines))
-	for i, id := range lines {
-		at[id] = i
-	}
-	faultsOf = make([][]int, len(lines))
+	counts := make([]int, len(lines))
+	at := make([]int, len(lineOf))
 	for fi, id := range lineOf {
-		li := at[id]
+		li, _ := slices.BinarySearch(lines, id)
+		at[fi] = li
+		counts[li]++
+	}
+	backing := make([]int, len(lineOf))
+	faultsOf = make([][]int, len(lines))
+	off := 0
+	for li, c := range counts {
+		faultsOf[li] = backing[off:off : off+c]
+		off += c
+	}
+	for fi, li := range at {
 		faultsOf[li] = append(faultsOf[li], fi)
 	}
 	return lines, faultsOf
@@ -41,23 +51,27 @@ func (e *Exhaustive) StuckAtTSets(faults []fault.StuckAt) []*bitset.Set {
 	lines, faultsOf := groupByLine(lineOf)
 
 	size := e.Circuit.VectorSpaceSize()
-	out := make([]*bitset.Set, len(faults))
-	for i := range out {
-		out[i] = bitset.New(size)
-	}
+	out := bitset.NewBatch(size, len(faults))
 	e.streamLines(lines, func(li, lo int, prop []uint64, x *engine.Exec) {
 		good := x.Node(lines[li])
-		for _, fi := range faultsOf[li] {
+		fis := faultsOf[li]
+		if len(fis) == 2 && faults[fis[0]].Value != faults[fis[1]].Value {
+			// The common collapsed pair (sa0, sa1) on one line: split the
+			// propagation block into both polarities in one operand pass.
+			sa0, sa1 := out[fis[0]], out[fis[1]]
+			if faults[fis[0]].Value {
+				sa0, sa1 = sa1, sa0
+			}
+			bitset.SplitRangeAnd(sa0, sa1, lo, prop, good)
+			return
+		}
+		for _, fi := range fis {
 			t := out[fi]
 			if faults[fi].Value {
 				// stuck-at-1: activated where the good value is 0.
-				for w, pw := range prop {
-					t.SetWord(lo+w, pw&^good[w])
-				}
+				t.SetRangeAndNot(lo, prop, good)
 			} else {
-				for w, pw := range prop {
-					t.SetWord(lo+w, pw&good[w])
-				}
+				t.SetRangeAnd(lo, prop, good)
 			}
 		}
 	})
@@ -75,10 +89,7 @@ func (e *Exhaustive) BridgeTSets(bridges []fault.Bridge) []*bitset.Set {
 	lines, faultsOf := groupByLine(lineOf)
 
 	size := e.Circuit.VectorSpaceSize()
-	out := make([]*bitset.Set, len(bridges))
-	for i := range out {
-		out[i] = bitset.New(size)
-	}
+	out := bitset.NewBatch(size, len(bridges))
 	e.streamLines(lines, func(li, lo int, prop []uint64, x *engine.Exec) {
 		vw := x.Node(lines[li])
 		for _, gi := range faultsOf[li] {
@@ -86,13 +97,9 @@ func (e *Exhaustive) BridgeTSets(bridges []fault.Bridge) []*bitset.Set {
 			t := out[gi]
 			dw := x.Node(g.Dominant)
 			if g.Value {
-				for w, pw := range prop {
-					t.SetWord(lo+w, pw&(dw[w]&^vw[w])) // dom=1, victim=0
-				}
+				t.SetRangeAndAndNot(lo, prop, dw, vw) // dom=1, victim=0
 			} else {
-				for w, pw := range prop {
-					t.SetWord(lo+w, pw&(^dw[w]&vw[w])) // dom=0, victim=1
-				}
+				t.SetRangeAndAndNot(lo, prop, vw, dw) // dom=0, victim=1
 			}
 		}
 	})

@@ -45,11 +45,36 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// BenchSchema versions the document layout, stamped into every emitted
+// document so archived BENCH_*.json trajectories are self-describing:
+// v2 added the schema field itself and the memcpy_mb_s host baseline.
+const BenchSchema = "ndetect.bench/v2"
+
 // Document is the emitted JSON root.
 type Document struct {
-	Tag        string            `json:"tag,omitempty"`
+	// Schema is the document layout version (BenchSchema). Absent in
+	// pre-v2 archives.
+	Schema string `json:"schema,omitempty"`
+	Tag    string `json:"tag,omitempty"`
+	// MemcpyMBps is the run's best MemBandwidth MB/s sample — the host
+	// speed constant the perf gate normalizes by, surfaced at the top
+	// level so trajectory tooling can compare hosts without re-deriving
+	// it from the benchmark list. Zero when the run did not include the
+	// memcpy baseline.
+	MemcpyMBps float64           `json:"memcpy_mb_s,omitempty"`
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// stamp fills the derived document fields after parsing: the schema
+// version and the host memcpy baseline.
+func (doc *Document) stamp() {
+	doc.Schema = BenchSchema
+	for _, b := range doc.Benchmarks {
+		if b.Name == memBandwidthName {
+			doc.MemcpyMBps = max(doc.MemcpyMBps, b.Metrics["MB/s"])
+		}
+	}
 }
 
 func main() {
@@ -79,6 +104,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	doc.stamp()
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestStampSchemaAndMemcpyBaseline(t *testing.T) {
+	d := doc(map[string]float64{
+		"MemBandwidth":     8000,
+		"EngineStream/w64": 700,
+	})
+	// -count N emits duplicate baseline samples; the best one is stamped.
+	d.Benchmarks = append(d.Benchmarks,
+		Result{Name: "MemBandwidth", NsPerOp: 1, Metrics: map[string]float64{"MB/s": 12000}})
+	d.stamp()
+	if d.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", d.Schema, BenchSchema)
+	}
+	if d.MemcpyMBps != 12000 {
+		t.Fatalf("memcpy_mb_s = %v, want the best sample 12000", d.MemcpyMBps)
+	}
+}
+
+func TestStampWithoutMemcpyBaseline(t *testing.T) {
+	// A run that skipped the memcpy benchmark still gets the schema, but
+	// no host baseline (omitted from the JSON via omitempty).
+	d := doc(map[string]float64{"EngineStream/w64": 700})
+	d.stamp()
+	if d.Schema != BenchSchema {
+		t.Fatalf("schema = %q, want %q", d.Schema, BenchSchema)
+	}
+	if d.MemcpyMBps != 0 {
+		t.Fatalf("memcpy_mb_s = %v, want 0", d.MemcpyMBps)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkEngineStream/w64-8   120  9876543 ns/op  701.5 MB/s  12 B/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "EngineStream/w64" || r.Procs != 8 || r.Iterations != 120 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.NsPerOp != 9876543 || r.Metrics["MB/s"] != 701.5 || r.Metrics["B/op"] != 12 {
+		t.Fatalf("parsed metrics %+v", r)
+	}
+	if _, ok := parseBenchLine("ok  	ndetect/internal/sim	1.2s"); ok {
+		t.Fatal("non-benchmark line parsed")
+	}
+}

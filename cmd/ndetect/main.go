@@ -21,7 +21,8 @@
 // Kernel work is measurable without editing code: -cpuprofile and
 // -memprofile write pprof profiles of the run (the heap profile of a
 // streaming analysis shows per-fault result bitsets, never per-node
-// universes).
+// universes), and -trace prints a stage-timing table to stderr — stdout
+// stays byte-identical with or without it (DESIGN.md §14).
 //
 // -json swaps the text report for the machine-readable analysis document
 // (internal/report.Analysis) — the same encoder the ndetectd server uses,
@@ -77,6 +78,7 @@ import (
 	"ndetect/internal/fault"
 	"ndetect/internal/kiss"
 	"ndetect/internal/ndetect"
+	"ndetect/internal/obs"
 	"ndetect/internal/partition"
 	"ndetect/internal/report"
 	"ndetect/internal/store"
@@ -105,6 +107,7 @@ func main() {
 		ge11F    = flag.Int("ge11", 0, "with -json -avg: cap the analysed nmin subset by even sampling (0 = no cap; DESIGN.md §4)")
 		twoLevel = flag.Bool("two-level", false, "use two-level PLA synthesis for -kiss2/-bench")
 		workersF = flag.Int("workers", 0, "worker pool size for simulation, T-sets and -avg (0 = one per CPU, 1 = serial)")
+		traceF   = flag.Bool("trace", false, "print a stage-timing table to stderr after the analysis (stdout bytes are unchanged; DESIGN.md §14)")
 		cpuprofF = flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 		memprofF = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -158,6 +161,19 @@ func main() {
 	c, err := loadCircuit(*benchF, *netF, *kissF, *formatF, *twoLevel)
 	if err != nil {
 		fail(err)
+	}
+
+	// -trace records stage spans and prints a timing table to stderr when
+	// the analysis returns. It observes through the same hooks the server
+	// uses (exp.TraceSink + the Progress stream), so stdout — text report
+	// or JSON document alike — stays byte-identical with or without it.
+	var rec *obs.Recorder
+	if *traceF {
+		if *sweepF != "" {
+			fail(fmt.Errorf("-trace does not combine with -sweep (per-variant traces would interleave); trace the variants one-shot instead"))
+		}
+		rec = obs.NewRecorder()
+		defer func() { fmt.Fprint(os.Stderr, obs.FormatTable(rec.Finish())) }()
 	}
 
 	// Resolve the fault model up front so an unknown ID fails before any
@@ -225,6 +241,10 @@ func main() {
 		// One shared driver behind -json and the ndetectd server: same
 		// circuit + options → byte-identical documents (DESIGN.md §10).
 		req := exp.AnalysisRequest{Kind: exp.WorstCaseAnalysis, FaultModel: *modelF, Workers: *workersF, Universes: universes}
+		if rec != nil {
+			req.Trace = rec
+			req.Progress = rec.Progress
+		}
 		switch {
 		case *partF > 0:
 			req.Kind = exp.PartitionedAnalysis
@@ -250,11 +270,17 @@ func main() {
 	}
 
 	if *partF > 0 {
-		analyzePartitioned(c, *partF, *workersF, *worstF)
+		analyzePartitioned(c, *partF, *workersF, *worstF, rec)
 		return
 	}
 
-	u, err := ndetect.BuildUniverse(c, model, ndetect.AnalyzeOptions{Workers: *workersF})
+	uopts := ndetect.AnalyzeOptions{Workers: *workersF}
+	if rec != nil {
+		uopts.Progress = rec.Progress
+	}
+	endUniverse := beginSpan(rec, "universe")
+	u, err := ndetect.BuildUniverse(c, model, uopts)
+	endUniverse()
 	if err != nil {
 		fail(err)
 	}
@@ -269,7 +295,9 @@ func main() {
 		len(u.Targets), model.Provider(fault.TargetSet).Label(), u.DetectableTargets())
 	fmt.Printf("untargeted |G| = %d %s\n\n", len(u.Untargeted), model.Provider(fault.UntargetedSet).Label())
 
+	endWorst := beginSpan(rec, "worstcase")
 	wc := ndetect.WorstCaseWorkers(&u.Universe, *workersF)
+	endWorst()
 	fmt.Println("worst-case analysis (Section 2):")
 	for _, n := range report.NMinColumns {
 		fmt.Printf("  nmin(g) ≤ %-3d : %6.2f%% of G guaranteed by any %d-detection test set\n",
@@ -295,8 +323,17 @@ func main() {
 	}
 
 	if *avgF {
-		runAverage(u, wc, *kF, *nmaxF, *seedF, *def2F, *workersF)
+		runAverage(u, wc, *kF, *nmaxF, *seedF, *def2F, *workersF, rec)
 	}
+}
+
+// beginSpan opens a named span on rec, tolerating a nil recorder (the
+// untraced run) with a no-op end.
+func beginSpan(rec *obs.Recorder, name string) func() {
+	if rec == nil {
+		return func() {}
+	}
+	return rec.Begin(name)
 }
 
 func loadCircuit(benchName, netFile, kissFile, format string, twoLevel bool) (*circuit.Circuit, error) {
@@ -390,7 +427,7 @@ func printWorst(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, n int) 
 	fmt.Println()
 }
 
-func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax int, seed int64, def2 bool, workers int) {
+func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax int, seed int64, def2 bool, workers int, rec *obs.Recorder) {
 	idx := wc.IndicesAtLeast(nmax + 1)
 	if len(idx) == 0 {
 		fmt.Printf("average-case analysis: every untargeted fault is guaranteed at n ≤ %d; nothing to estimate\n", nmax)
@@ -398,6 +435,9 @@ func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax
 	}
 	sub := u.SubsetUntargeted(idx)
 	opts := ndetect.Procedure1Options{NMax: nmax, K: k, Seed: seed, Workers: workers}
+	if rec != nil {
+		opts.Progress = func(done, total int) { rec.Progress("procedure1", done, total) }
+	}
 	label := "Definition 1"
 	if def2 {
 		if !u.Model.Def2Capable() {
@@ -407,7 +447,9 @@ func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax
 		opts.Checker = ndetect.NewCircuitCheckerFor(u)
 		label = "Definition 2"
 	}
+	endP1 := beginSpan(rec, "procedure1")
 	res, err := ndetect.Procedure1(sub, opts)
+	endP1()
 	if err != nil {
 		fail(err)
 	}
@@ -428,9 +470,15 @@ func runAverage(u *ndetect.CircuitUniverse, wc *ndetect.WorstCaseResult, k, nmax
 // per-part worst-case analysis → MergeNMin) and prints per-part stats plus
 // the merged nmin table. Output is deterministic for every -workers value:
 // parts print in Split order and the merged table iterates sorted names.
-func analyzePartitioned(c *circuit.Circuit, maxIn, workers, worst int) {
+func analyzePartitioned(c *circuit.Circuit, maxIn, workers, worst int, rec *obs.Recorder) {
 	fmt.Printf("circuit %s: %s\n", c.Name, c.ComputeStats())
-	res, err := partition.AnalyzeParts(c, partition.Options{MaxInputs: maxIn}, workers)
+	popts := partition.Options{MaxInputs: maxIn}
+	if rec != nil {
+		popts.Progress = func(done, total int) { rec.Progress("parts", done, total) }
+	}
+	endParts := beginSpan(rec, "partition")
+	res, err := partition.AnalyzeParts(c, popts, workers)
+	endParts()
 	if err != nil {
 		fail(err)
 	}

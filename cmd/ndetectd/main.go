@@ -22,10 +22,18 @@
 //	curl -s localhost:8414/jobs/<id>/result
 //	# sweep option variants over one circuit (shared universe)
 //	curl -s localhost:8414/sweeps -d '{"benchmark":"bbtas","sweep":"nmax=10;k=1000;seed=1..5;def=1,2"}'
+//	# follow a job live as Server-Sent Events (state + progress, §14)
+//	curl -sN localhost:8414/jobs/<id>/events
 //
 // Endpoints: POST /jobs, POST /sweeps, GET /jobs/{id},
-// GET /jobs/{id}/result, GET /healthz, GET /metrics. See internal/service
-// for the API shapes.
+// GET /jobs/{id}/result, GET /jobs/{id}/events, GET /healthz,
+// GET /metrics. See internal/service for the API shapes.
+//
+// With -debug-addr a second, separate listener serves introspection only
+// (keep it private): net/http/pprof under /debug/pprof/, and /trace/{id}
+// dumping a job's stage spans as JSON. Every API request is logged with
+// method, path (which carries the job's content-address hash), status,
+// bytes and duration.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
 // jobs (new submissions answer 503), drains in-flight analyses for up to
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	"ndetect/internal/fault"
+	"ndetect/internal/obs"
 	"ndetect/internal/service"
 	"ndetect/internal/sim"
 	"ndetect/internal/store"
@@ -59,10 +68,11 @@ func main() {
 		storeMaxF = flag.Int64("store-max-bytes", 0, "artifact store size bound in bytes (0 = default 1 GiB; LRU eviction)")
 		modelF    = flag.String("fault-model", "", `fault model filled into submissions that name none ("" = the stuck-at + bridging default); requests carrying their own options.fault_model are unaffected (DESIGN.md §12)`)
 		drainF    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight analyses")
+		debugF    = flag.String("debug-addr", "", "separate introspection listener: net/http/pprof and /trace/{id} span dumps (empty = off; keep private, DESIGN.md §14)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-fault-model ID] [-drain 30s]")
+		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-fault-model ID] [-drain 30s] [-debug-addr :8415]")
 		os.Exit(2)
 	}
 	if _, err := fault.Resolve(*modelF); err != nil {
@@ -81,10 +91,24 @@ func main() {
 		Workers: *workersF, CacheEntries: *cacheF, Store: st,
 		DefaultFaultModel: *modelF,
 	})
+	api := service.NewServer(m)
 	srv := &http.Server{
 		Addr:              *addrF,
-		Handler:           service.NewServer(m).Handler(),
+		Handler:           obs.AccessLog(log.Printf, api.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *debugF != "" {
+		dbg := &http.Server{
+			Addr:              *debugF,
+			Handler:           api.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ndetectd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("ndetectd: debug listener on %s (pprof + /trace/{id})", *debugF)
 	}
 
 	storeDesc := "none"

@@ -79,6 +79,22 @@ type AnalysisRequest struct {
 	// result identity. Ignored by the partitioned analysis (per-part
 	// universes are constructed inside the pipeline).
 	Universes UniverseSource // ndetect:nonidentity
+	// Trace, when non-nil, observes the driver's bracketed phases
+	// (canonicalize, universe, worstcase, procedure1, partition) for
+	// stage-level tracing (DESIGN.md §14). Like Progress it only
+	// observes; it is not part of the result identity.
+	Trace TraceSink // ndetect:nonidentity
+}
+
+// TraceSink receives bracketed phase spans from the analysis driver:
+// Begin marks the start of a named phase and returns the function that
+// ends it. The driver only ever marks phases — all timing happens inside
+// the implementation (obs.Recorder in production), which is how span
+// durations exist without any clock read in the detrand-scoped packages
+// (DESIGN.md §13, §14). A sink must be safe for concurrent use and must
+// never influence the analysis.
+type TraceSink interface {
+	Begin(name string) (end func())
 }
 
 // UniverseSource supplies the exhaustive universe of a canonical circuit
@@ -176,7 +192,19 @@ func AnalyzeCircuit(c *circuit.Circuit, req AnalysisRequest) (*report.Analysis, 
 	if err := req.Normalize(); err != nil {
 		return nil, err
 	}
+	// Phase spans for the trace sink: span(name) opens a phase and returns
+	// its end function (a no-op without a sink, so the traced and untraced
+	// code paths are one and the same — §14's non-interference argument).
+	span := func(name string) func() {
+		if req.Trace == nil {
+			return func() {}
+		}
+		return req.Trace.Begin(name)
+	}
+
+	endCanon := span("canonicalize")
 	c, err := circuit.Canonicalize(c)
+	endCanon()
 	if err != nil {
 		return nil, fmt.Errorf("exp: canonicalize: %w", err)
 	}
@@ -194,10 +222,12 @@ func AnalyzeCircuit(c *circuit.Circuit, req AnalysisRequest) (*report.Analysis, 
 	}
 
 	if req.Kind == PartitionedAnalysis {
+		endParts := span("partition")
 		res, err := partition.AnalyzeParts(c, partition.Options{
 			MaxInputs: req.MaxInputs,
 			Progress:  func(done, total int) { progress("parts", done, total) },
 		}, req.Workers)
+		endParts()
 		if err != nil {
 			return nil, err
 		}
@@ -210,22 +240,28 @@ func AnalyzeCircuit(c *circuit.Circuit, req AnalysisRequest) (*report.Analysis, 
 		return nil, err
 	}
 	aopts := ndetect.AnalyzeOptions{Workers: req.Workers, Progress: req.Progress}
+	endUniverse := span("universe")
 	var u *ndetect.CircuitUniverse
 	if req.Universes != nil {
 		u, err = req.Universes.Universe(c, m, aopts)
 	} else {
 		u, err = ndetect.BuildUniverse(c, m, aopts)
 	}
+	endUniverse()
 	if err != nil {
 		return nil, err
 	}
+	endWC := span("worstcase")
 	progress("worstcase", 0, 1)
 	wc := ndetect.WorstCaseWorkers(&u.Universe, req.Workers)
 	progress("worstcase", 1, 1)
 	doc.WorstCase = worstCaseJSON(u, wc)
+	endWC()
 
 	if req.Kind == AverageAnalysis {
+		endAvg := span("procedure1")
 		avg, err := averageJSON(u, wc, &req, progress)
+		endAvg()
 		if err != nil {
 			return nil, err
 		}

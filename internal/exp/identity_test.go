@@ -19,6 +19,7 @@ func TestIdentitySplit(t *testing.T) {
 		"Workers":   true,
 		"Progress":  true,
 		"Universes": true,
+		"Trace":     true,
 	}
 	envelope := map[string]bool{"Kind": true}
 

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+)
+
+// progressEvent is one recorded Progress callback.
+type progressEvent struct {
+	stage       string
+	done, total int
+}
+
+func collectProgress(t *testing.T, workers int) []progressEvent {
+	t.Helper()
+	var (
+		mu     sync.Mutex
+		events []progressEvent
+	)
+	req := AnalysisRequest{
+		Kind: AverageAnalysis, NMax: 2, K: 40, Seed: 7,
+		Workers: workers,
+		Progress: func(stage string, done, total int) {
+			mu.Lock()
+			events = append(events, progressEvent{stage, done, total})
+			mu.Unlock()
+		},
+	}
+	if _, err := AnalyzeCircuit(mustEmbedded(t, "c17"), req); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestProgressOrderingContract pins the Progress callback stream the SSE
+// event feed relays (DESIGN.md §14): the stage sequence is fixed
+// regardless of worker count, done never decreases within a stage, and
+// total is constant within a stage. Observability consumers (event
+// subscribers, trace recorders) rely on exactly this.
+func TestProgressOrderingContract(t *testing.T) {
+	wantStages := []string{
+		"simulate", "stuck-at-tsets", "bridge-tsets", "universe",
+		"worstcase", "procedure1",
+	}
+	for _, workers := range []int{1, 8} {
+		events := collectProgress(t, workers)
+		if len(events) == 0 {
+			t.Fatalf("workers=%d: no progress events", workers)
+		}
+
+		// Distinct stages, in first-appearance order: a stage never
+		// reappears after the stream has moved past it.
+		var stages []string
+		for _, ev := range events {
+			if len(stages) == 0 || stages[len(stages)-1] != ev.stage {
+				stages = append(stages, ev.stage)
+			}
+		}
+		if len(stages) != len(wantStages) {
+			t.Fatalf("workers=%d: stage sequence %v, want %v", workers, stages, wantStages)
+		}
+		for i := range wantStages {
+			if stages[i] != wantStages[i] {
+				t.Fatalf("workers=%d: stage sequence %v, want %v", workers, stages, wantStages)
+			}
+		}
+
+		// Within each stage: done monotone non-decreasing, total constant.
+		prev := progressEvent{}
+		for i, ev := range events {
+			if i > 0 && ev.stage == prev.stage {
+				if ev.done < prev.done {
+					t.Errorf("workers=%d: stage %s done decreased %d → %d", workers, ev.stage, prev.done, ev.done)
+				}
+				if ev.total != prev.total {
+					t.Errorf("workers=%d: stage %s total changed %d → %d", workers, ev.stage, prev.total, ev.total)
+				}
+			}
+			prev = ev
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// Structured request logs for the daemon: one line per request with
+// method, path (which carries the job key hash for /jobs/{id} routes),
+// status, response bytes and duration. The middleware preserves
+// http.Flusher on the wrapped ResponseWriter so live SSE streams keep
+// flushing through it.
+
+// AccessLog wraps next so every request is reported to logf after it
+// completes:
+//
+//	http method=GET path=/jobs/abc123 status=200 bytes=412 dur=1.2ms
+func AccessLog(logf func(format string, args ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logf("http method=%s path=%s status=%d bytes=%d dur=%s",
+			r.Method, r.URL.Path, rec.status, rec.bytes,
+			time.Since(t0).Round(10*time.Microsecond))
+	})
+}
+
+// statusRecorder captures the status code and body size of a response.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it streams — SSE and
+// other incremental responses must keep working behind the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

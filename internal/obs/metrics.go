@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics primitives: lock-cheap atomics recorded on the serving hot
+// path, rendered on demand into the Prometheus text exposition format
+// (version 0.0.4) with HELP/TYPE headers, stable order and no duplicate
+// names — the properties the /metrics golden test pins.
+
+// Gauge is an instantaneous value backed by one atomic.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency histogram bounds in seconds:
+// half-millisecond resolution at the fast end (cache probes, store I/O)
+// up to minutes (cold universe constructions on wide circuits).
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are two
+// atomic adds and one atomic float accumulation — cheap enough for
+// per-progress-event call sites. The zero Histogram is not usable; use
+// NewHistogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds
+// (nil means DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// rendering: per-bucket cumulative counts (ending with +Inf), the total
+// count and the observation sum.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, ascending, excluding +Inf
+	Cumulative []uint64  // len(Bounds)+1, cumulative, last = Count
+	Count      uint64
+	Sum        float64
+}
+
+// Snapshot returns the histogram's current cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = cum
+	s.Sum = h.sum.load()
+	return s
+}
+
+// HistogramVec is a histogram family partitioned by one label (stage
+// name, store operation). Children are created on first observation and
+// render in sorted label order.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.Mutex
+	kids   map[string]*Histogram
+}
+
+// NewHistogramVec creates a labeled histogram family (nil bounds means
+// DefBuckets).
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{bounds: bounds, kids: make(map[string]*Histogram)}
+}
+
+// Observe records one value under the given label value.
+func (v *HistogramVec) Observe(label string, val float64) {
+	v.mu.Lock()
+	h := v.kids[label]
+	if h == nil {
+		h = NewHistogram(v.bounds)
+		v.kids[label] = h
+	}
+	v.mu.Unlock()
+	h.Observe(val)
+}
+
+// Labels returns the observed label values in sorted (stable) order.
+func (v *HistogramVec) Labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Child returns the histogram under one label value (nil if never
+// observed).
+func (v *HistogramVec) Child(label string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.kids[label]
+}
+
+// atomicFloat accumulates float64 values with CAS.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Exposition writes one Prometheus text scrape. Families render in call
+// order (the caller's fixed order is what makes the output stable), each
+// preceded by its # HELP and # TYPE lines.
+type Exposition struct {
+	w   io.Writer
+	err error
+}
+
+// NewExposition starts a scrape onto w.
+func NewExposition(w io.Writer) *Exposition { return &Exposition{w: w} }
+
+// Err returns the first write error, if any.
+func (e *Exposition) Err() error { return e.err }
+
+func (e *Exposition) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+func (e *Exposition) header(name, typ, help string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter renders one monotonic counter sample.
+func (e *Exposition) Counter(name, help string, v uint64) {
+	e.header(name, "counter", help)
+	e.printf("%s %d\n", name, v)
+}
+
+// Gauge renders one gauge sample.
+func (e *Exposition) Gauge(name, help string, v int64) {
+	e.header(name, "gauge", help)
+	e.printf("%s %d\n", name, v)
+}
+
+// Histogram renders one (unlabeled) histogram family.
+func (e *Exposition) Histogram(name, help string, s HistogramSnapshot) {
+	e.header(name, "histogram", help)
+	e.histogramSeries(name, "", s)
+}
+
+// HistogramVec renders a labeled histogram family: one bucket series set
+// per label value, in the vec's sorted label order.
+func (e *Exposition) HistogramVec(name, help, label string, v *HistogramVec) {
+	e.header(name, "histogram", help)
+	for _, lv := range v.Labels() {
+		e.histogramSeries(name, label+"="+strconv.Quote(lv), v.Child(lv).Snapshot())
+	}
+}
+
+func (e *Exposition) histogramSeries(name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range s.Bounds {
+		e.printf("%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), s.Cumulative[i])
+	}
+	e.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels == "" {
+		e.printf("%s_sum %s\n", name, formatFloat(s.Sum))
+		e.printf("%s_count %d\n", name, s.Count)
+	} else {
+		e.printf("%s_sum{%s} %s\n", name, labels, formatFloat(s.Sum))
+		e.printf("%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Server-Sent Events framing (the wire format of GET /jobs/{id}/events,
+// DESIGN.md §14): each event is an optional "id:" line, an optional
+// "event:" line, one "data:" line per payload line, and a blank
+// terminator. Payloads are JSON documents, so in practice one data line
+// per event; multi-line payloads are framed correctly anyway.
+
+// SSEContentType is the media type of an event stream response.
+const SSEContentType = "text/event-stream"
+
+// WriteSSEEvent writes one SSE frame. id < 0 omits the id line; event ""
+// omits the event line (the stream's default event type).
+func WriteSSEEvent(w io.Writer, id int64, event string, data []byte) error {
+	var b strings.Builder
+	if id >= 0 {
+		fmt.Fprintf(&b, "id: %d\n", id)
+	}
+	if event != "" {
+		fmt.Fprintf(&b, "event: %s\n", event)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fmt.Fprintf(&b, "data: %s\n", line)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SSEHeaders stamps the response headers of an event stream: the
+// content type, no-store caching (a stream is never reusable), and a
+// keep-alive connection.
+func SSEHeaders(h http.Header) {
+	h.Set("Content-Type", SSEContentType)
+	h.Set("Cache-Control", "no-store")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer live streams
+}

@@ -19,6 +19,11 @@ type cacheEntry struct {
 	id     string
 	info   JobInfo
 	result []byte
+	// seq is the last event sequence number the job published (events.go):
+	// the snapshot replayed to late event subscribers carries it, so a
+	// resume cursor stays monotone across completion. Zero for entries
+	// loaded from the disk tier — their event history is gone.
+	seq int64
 }
 
 func newResultCache(capacity int) *resultCache {

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"ndetect/internal/bench"
 	"ndetect/internal/circuit"
 	"ndetect/internal/exp"
 	"ndetect/internal/kiss"
+	"ndetect/internal/obs"
 	"ndetect/internal/report"
 	"ndetect/internal/store"
 	"ndetect/internal/synth"
@@ -26,8 +28,13 @@ import (
 //	GET  /jobs/{id}            job status with live progress
 //	GET  /jobs/{id}/result     the result document (202 + status while the
 //	                           job is still queued/running)
+//	GET  /jobs/{id}/events     the job's event stream as Server-Sent
+//	                           Events: a state snapshot on connect, then
+//	                           every state transition and progress update,
+//	                           ending with the terminal state (§14)
 //	GET  /healthz              liveness
-//	GET  /metrics              Prometheus-style counters, text/plain
+//	GET  /metrics              Prometheus text exposition: counters,
+//	                           gauges and latency histograms
 //
 // The POST body names a circuit — inline source for the existing parsers
 // ("net", "bench" or "kiss2" format) or an embedded benchmark — plus the
@@ -118,9 +125,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sweeps", s.handleSweep)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// DebugHandler returns the introspection routes the daemon serves on its
+// separate -debug-addr listener (never on the public API address):
+// net/http/pprof under /debug/pprof/, and /trace/{id} dumping a job's
+// spans as JSON — live snapshot for in-flight jobs, retained trace for
+// recently completed ones.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	return mux
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans, ok := s.m.Trace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace for job %s (traces are bounded FIFO; tracing may be disabled)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, spans)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -254,6 +287,53 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEvents streams one job's event stream as Server-Sent Events: a
+// "state" snapshot on connect (replay-from-snapshot — late subscribers
+// need no event history), then each published event in order, ending
+// with the terminal state event. Already-completed jobs get the terminal
+// snapshot alone. The SSE id: field carries the event sequence number.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, sub, ok := s.m.Events(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s (completed jobs expire from the result cache)", id)
+		return
+	}
+	defer s.m.Unsubscribe(id, sub) // nil-safe
+	obs.SSEHeaders(w.Header())
+	w.WriteHeader(http.StatusOK)
+	fl, canFlush := w.(http.Flusher)
+	write := func(ev JobEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteSSEEvent(w, ev.Seq, ev.Type, data); err != nil {
+			return err
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		return nil
+	}
+	if err := write(snap); err != nil || sub == nil || snap.Terminal() {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-sub.Notify():
+		}
+		for _, ev := range sub.Drain() {
+			if err := write(ev); err != nil || ev.Terminal() {
+				return
+			}
+		}
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -263,48 +343,54 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // this endpoint speaks.
 const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// metric is one /metrics sample.
-type metric struct {
-	name string
-	val  uint64
+func tierExposition(e *obs.Exposition, tier string, tc store.TierCounters) {
+	e.Counter("ndetectd_store_"+tier+"_hits_total", tier+" tier hits", tc.Hits)
+	e.Counter("ndetectd_store_"+tier+"_misses_total", tier+" tier misses", tc.Misses)
+	e.Counter("ndetectd_store_"+tier+"_evictions_total", tier+" tier evictions", tc.Evictions)
+	e.Gauge("ndetectd_store_"+tier+"_bytes", tier+" tier bytes on disk", tc.Bytes)
+	e.Gauge("ndetectd_store_"+tier+"_files", tier+" tier artifact count", int64(tc.Files))
 }
 
-func tierMetrics(tier string, tc store.TierCounters) []metric {
-	return []metric{
-		{"ndetectd_store_" + tier + "_hits_total", tc.Hits},
-		{"ndetectd_store_" + tier + "_misses_total", tc.Misses},
-		{"ndetectd_store_" + tier + "_evictions_total", tc.Evictions},
-		{"ndetectd_store_" + tier + "_bytes", uint64(tc.Bytes)},
-		{"ndetectd_store_" + tier + "_files", uint64(tc.Files)},
-	}
-}
-
+// handleMetrics renders the Prometheus text exposition. Every metric name
+// and sample format predating the §14 observability layer is preserved
+// verbatim (only HELP/TYPE headers were added around them — scrapers and
+// greps keyed on `name value` lines keep working); the histograms and
+// derived gauges are additive. The GET pattern also matches HEAD, whose
+// body net/http discards — a scraper's probe costs headers only.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	c := s.m.Counters()
 	sc, _ := s.m.StoreCounters() // zeros when no store is configured
 	w.Header().Set("Content-Type", MetricsContentType)
-	metrics := []metric{
-		{"ndetectd_jobs_submitted_total", c.Submitted},
-		{"ndetectd_jobs_cache_hits_total", c.CacheHits},
-		{"ndetectd_jobs_store_hits_total", c.StoreHits},
-		{"ndetectd_jobs_coalesced_total", c.Coalesced},
-		{"ndetectd_jobs_computed_total", c.Computed},
-		{"ndetectd_jobs_completed_total", c.Completed},
-		{"ndetectd_jobs_failed_total", c.Failed},
-		{"ndetectd_sweeps_total", c.Sweeps},
-		{"ndetectd_jobs_queued", uint64(c.Queued)},
-		{"ndetectd_jobs_running", uint64(c.Running)},
-		{"ndetectd_workers_in_use", uint64(c.WorkersInUse)},
-		{"ndetectd_workers_total", uint64(c.WorkersTotal)},
-		{"ndetectd_cache_entries", uint64(c.CacheEntries)},
-		{"ndetectd_cache_capacity", uint64(c.CacheCapacity)},
-		{"ndetectd_store_bytes", uint64(sc.Bytes)},
-	}
-	metrics = append(metrics, tierMetrics("results", sc.Results)...)
-	metrics = append(metrics, tierMetrics("universes", sc.Universes)...)
-	for _, m := range metrics {
-		fmt.Fprintf(w, "%s %d\n", m.name, m.val)
-	}
+	w.Header().Set("Cache-Control", "no-store")
+	e := obs.NewExposition(w)
+
+	e.Counter("ndetectd_jobs_submitted_total", "analysis submissions accepted", c.Submitted)
+	e.Counter("ndetectd_jobs_cache_hits_total", "submissions answered from the in-memory result LRU", c.CacheHits)
+	e.Counter("ndetectd_jobs_store_hits_total", "submissions answered from the disk result tier", c.StoreHits)
+	e.Counter("ndetectd_jobs_coalesced_total", "submissions joined to an identical in-flight job", c.Coalesced)
+	e.Counter("ndetectd_jobs_computed_total", "jobs actually enqueued (cache misses)", c.Computed)
+	e.Counter("ndetectd_jobs_completed_total", "jobs completed successfully", c.Completed)
+	e.Counter("ndetectd_jobs_failed_total", "jobs failed deterministically", c.Failed)
+	e.Counter("ndetectd_sweeps_total", "sweep submissions accepted", c.Sweeps)
+	e.Gauge("ndetectd_jobs_queued", "jobs waiting for a worker grant", int64(c.Queued))
+	e.Gauge("ndetectd_jobs_running", "jobs currently computing", int64(c.Running))
+	e.Gauge("ndetectd_jobs_inflight", "jobs queued or running", int64(c.Queued+c.Running))
+	e.Gauge("ndetectd_workers_in_use", "inner worker grants currently out", int64(c.WorkersInUse))
+	e.Gauge("ndetectd_workers_total", "the server-wide worker budget W", int64(c.WorkersTotal))
+	e.Gauge("ndetectd_cache_entries", "results in the in-memory LRU", int64(c.CacheEntries))
+	e.Gauge("ndetectd_cache_capacity", "in-memory result LRU capacity", int64(c.CacheCapacity))
+	e.Gauge("ndetectd_universe_flights", "live shared-universe flights", int64(c.UniverseFlights))
+	e.Gauge("ndetectd_events_streaming", "open SSE event subscriptions", s.m.met.streaming.Value())
+	e.Gauge("ndetectd_store_bytes", "artifact bytes on disk across tiers", sc.Bytes)
+	tierExposition(e, "results", sc.Results)
+	tierExposition(e, "universes", sc.Universes)
+
+	e.Histogram("ndetectd_job_duration_seconds",
+		"end-to-end job latency, submit to terminal state", s.m.met.jobDur.Snapshot())
+	e.HistogramVec("ndetectd_stage_duration_seconds",
+		"per-stage job latency by span name", "stage", s.m.met.stageDur)
+	e.HistogramVec("ndetectd_store_op_duration_seconds",
+		"artifact store I/O latency by tier and operation", "op", s.m.met.storeDur)
 }
 
 // loadSubmittedCircuit resolves the request's circuit: an embedded

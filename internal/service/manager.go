@@ -27,6 +27,7 @@ import (
 	"ndetect/internal/exp"
 	"ndetect/internal/fault"
 	"ndetect/internal/ndetect"
+	"ndetect/internal/obs"
 	"ndetect/internal/report"
 	"ndetect/internal/sim"
 	"ndetect/internal/store"
@@ -58,6 +59,12 @@ type Config struct {
 	// fault.Resolve before constructing the manager; requests naming their
 	// own model are unaffected.
 	DefaultFaultModel string
+	// TraceDepth bounds the retained completed-job traces behind
+	// Manager.Trace (0 = DefaultTraceDepth, negative = tracing disabled:
+	// no per-job recorders, no span retention). Tracing never influences
+	// result bytes either way — the byte-identity tests pin a traced run
+	// against a TraceDepth<0 one.
+	TraceDepth int
 
 	// run computes one analysis; tests substitute it to observe and block
 	// the scheduler. nil = exp.AnalyzeCircuit.
@@ -127,6 +134,9 @@ type Counters struct {
 	PeakWorkersInUse int `json:"peak_workers_in_use"`
 	CacheEntries     int `json:"cache_entries"`
 	CacheCapacity    int `json:"cache_capacity"`
+	// UniverseFlights is the number of live shared-universe flights
+	// (universes.go) at snapshot time.
+	UniverseFlights int `json:"universe_flights"`
 }
 
 // job is the manager's mutable bookkeeping for one in-flight computation.
@@ -142,6 +152,14 @@ type job struct {
 	done   chan struct{}
 	result []byte
 	err    error
+
+	// rec collects the job's trace spans (nil when tracing is disabled).
+	// Safe outside Manager.mu — the recorder carries its own lock.
+	rec *obs.Recorder
+	// seq numbers the job's published events; subs are the live event
+	// subscriptions (events.go). Both guarded by Manager.mu.
+	seq  int64
+	subs []*EventSub
 }
 
 // Manager owns the job queue, the scheduler and the result cache.
@@ -151,6 +169,12 @@ type Manager struct {
 	newUniverse  func(*circuit.Circuit, fault.Model, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
 	store        *store.Store
 	defaultModel string
+
+	// met and traces are the observability sinks (observe.go): latency
+	// histograms plus the retained span log behind Manager.Trace. met is
+	// never nil; traces is nil when Config.TraceDepth is negative.
+	met    *metrics
+	traces *obs.TraceLog
 
 	mu        sync.Mutex
 	closed    bool
@@ -183,17 +207,29 @@ func NewManager(cfg Config) *Manager {
 		newUniverse = ndetect.BuildUniverse
 	}
 	w := sim.ResolveWorkers(cfg.Workers)
-	return &Manager{
+	m := &Manager{
 		workers:      w,
 		run:          run,
 		newUniverse:  newUniverse,
 		store:        cfg.Store,
 		defaultModel: cfg.DefaultFaultModel,
+		met:          newMetrics(),
 		inflight:     make(map[string]*job),
 		cache:        newResultCache(entries),
 		universes:    make(map[string]*universeFlight),
 		ctr:          Counters{WorkersTotal: w, CacheCapacity: entries},
 	}
+	if cfg.TraceDepth >= 0 {
+		depth := cfg.TraceDepth
+		if depth == 0 {
+			depth = DefaultTraceDepth
+		}
+		m.traces = obs.NewTraceLog(depth)
+	}
+	if m.store != nil {
+		m.store.SetObserver(storeObserver{dur: m.met.storeDur})
+	}
+	return m
 }
 
 // jobKey is the canonical request identity: the circuit's content hash
@@ -338,6 +374,7 @@ func (m *Manager) normalizeSubmission(req *exp.AnalysisRequest) error {
 	req.Workers = 0
 	req.Progress = nil
 	req.Universes = nil
+	req.Trace = nil
 	if req.FaultModel == "" {
 		req.FaultModel = m.defaultModel
 	}
@@ -390,6 +427,9 @@ func (m *Manager) submitLocked(c *circuit.Circuit, hash, id string, req exp.Anal
 		req:     req,
 		done:    make(chan struct{}),
 	}
+	if m.traces != nil {
+		j.rec = obs.NewRecorder()
+	}
 	if req.Kind != exp.PartitionedAnalysis {
 		// Flights are keyed per (hash, model): the default model keeps the
 		// bare hash so it shares with pre-registry keys, and a second model
@@ -402,6 +442,7 @@ func (m *Manager) submitLocked(c *circuit.Circuit, hash, id string, req exp.Anal
 	}
 	m.inflight[id] = j
 	m.queue = append(m.queue, j)
+	m.publishStateLocked(j) // queued
 	m.dispatchLocked()
 	return j.info, false, nil
 }
@@ -448,6 +489,7 @@ func (m *Manager) dispatchLocked() {
 		}
 		j.info.State = JobRunning
 		j.info.Workers = grant
+		m.publishStateLocked(j) // running, with the worker grant
 		go m.runJob(j, grant)
 	}
 }
@@ -457,12 +499,23 @@ func (m *Manager) dispatchLocked() {
 // the LRU and, for successes, the disk result tier; the budget returns to
 // the pool, and waiters are released.
 func (m *Manager) runJob(j *job, grant int) {
+	rec := j.rec // recorder access needs no lock; nil when tracing is off
 	req := j.req
 	req.Workers = grant
 	req.Progress = func(stage string, done, total int) {
+		if rec != nil {
+			rec.Progress(stage, done, total)
+		}
 		m.mu.Lock()
 		j.info.Progress = ProgressInfo{Stage: stage, Done: done, Total: total}
+		p := j.info.Progress
+		m.publishLocked(j, JobEvent{Type: EventProgress, Progress: &p})
 		m.mu.Unlock()
+	}
+	if rec != nil {
+		// Assigned only when non-nil: a nil *Recorder in the TraceSink
+		// interface would defeat the driver's Trace == nil fast path.
+		req.Trace = rec
 	}
 	if j.ukey != "" {
 		req.Universes = &managerUniverses{m: m, key: j.ukey}
@@ -470,7 +523,13 @@ func (m *Manager) runJob(j *job, grant int) {
 	doc, err := m.run(j.circuit, req)
 	var encoded []byte
 	if err == nil {
-		encoded = doc.Encode()
+		if rec != nil {
+			end := rec.Begin("encode")
+			encoded = doc.Encode()
+			end()
+		} else {
+			encoded = doc.Encode()
+		}
 	}
 
 	m.mu.Lock()
@@ -487,7 +546,8 @@ func (m *Manager) runJob(j *job, grant int) {
 		j.result = encoded
 		m.ctr.Completed++
 	}
-	m.cache.add(&cacheEntry{id: j.info.ID, info: j.info, result: encoded})
+	m.publishStateLocked(j) // terminal: ends every subscriber's stream
+	m.cache.add(&cacheEntry{id: j.info.ID, info: j.info, result: encoded, seq: j.seq})
 	if j.ukey != "" {
 		m.releaseUniverseLocked(j.ukey)
 	}
@@ -499,6 +559,17 @@ func (m *Manager) runJob(j *job, grant int) {
 	j.circuit = nil // the parsed netlist is no longer needed; let it go
 	m.dispatchLocked()
 	m.mu.Unlock()
+
+	if rec != nil {
+		// Retire the trace: end-to-end latency (submit → terminal state),
+		// per-stage histograms from the closed spans, and the span dump
+		// behind /trace/{id}. All after the lock — the sinks synchronize
+		// themselves.
+		m.met.jobDur.Observe(rec.Elapsed().Seconds())
+		spans := rec.Finish()
+		m.met.observeTrace(spans)
+		m.traces.Add(j.info.ID, spans)
+	}
 
 	if persist {
 		// Failures stay in-memory only: a deterministic failure recomputes
@@ -621,5 +692,6 @@ func (m *Manager) Counters() Counters {
 	c.Running = len(m.inflight) - len(m.queue)
 	c.WorkersInUse = m.used
 	c.CacheEntries = m.cache.len()
+	c.UniverseFlights = len(m.universes)
 	return c
 }

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrapeSeries parses one exposition into (ordered series keys, TYPE line
+// index per family, first sample index per family), validating the
+// format as it goes: samples only under a preceding TYPE header, no
+// duplicate headers, no duplicate series.
+func scrapeSeries(t *testing.T, body string) []string {
+	t.Helper()
+	typeAt := map[string]int{}
+	helpAt := map[string]int{}
+	seen := map[string]bool{}
+	var series []string
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			name := strings.Fields(line)[2]
+			if _, dup := typeAt[name]; dup {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			typeAt[name] = i
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			if _, dup := helpAt[name]; dup {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			helpAt[name] = i
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			key := line[:strings.IndexAny(line, " ")]
+			if strings.Contains(key, "{") {
+				key = line[:strings.Index(line, "}")+1]
+			}
+			if seen[key] {
+				t.Errorf("duplicate series %s", key)
+			}
+			seen[key] = true
+			series = append(series, key)
+
+			family := key
+			if j := strings.Index(family, "{"); j >= 0 {
+				family = family[:j]
+			}
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(family, suffix)
+				if _, ok := typeAt[base]; ok {
+					family = base
+					break
+				}
+			}
+			at, ok := typeAt[family]
+			if !ok || at > i {
+				t.Errorf("sample %s has no preceding TYPE header", key)
+			}
+			if at, ok := helpAt[family]; !ok || at > i {
+				t.Errorf("sample %s has no preceding HELP header", key)
+			}
+		}
+	}
+	return series
+}
+
+// The /metrics satellite contract: valid exposition (HELP/TYPE headers,
+// no duplicate names, stable series order across scrapes), Cache-Control
+// no-store, HEAD supported, and — after a real job — populated latency
+// histograms alongside every pre-§14 metric name.
+func TestMetricsExpositionGolden(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	info, _, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func() (string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header
+	}
+
+	body, hdr := get()
+	if ct := hdr.Get("Content-Type"); ct != MetricsContentType {
+		t.Errorf("Content-Type %q, want %q", ct, MetricsContentType)
+	}
+	if cc := hdr.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control %q, want no-store", cc)
+	}
+
+	series := scrapeSeries(t, body)
+	if len(series) == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// Every pre-§14 metric name survives in its original `name value`
+	// sample format (scrapers keyed on these lines keep working).
+	for _, want := range []string{
+		"ndetectd_jobs_submitted_total 1",
+		"ndetectd_jobs_computed_total 1",
+		"ndetectd_jobs_completed_total 1",
+		"ndetectd_workers_total 2",
+		"ndetectd_cache_entries 1",
+		"ndetectd_store_bytes 0",
+		"ndetectd_store_results_hits_total 0",
+		"ndetectd_store_universes_hits_total 0",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The completed job populated the end-to-end and per-stage histograms.
+	for _, want := range []string{
+		"ndetectd_job_duration_seconds_count 1",
+		`ndetectd_job_duration_seconds_bucket{le="+Inf"} 1`,
+		`ndetectd_stage_duration_seconds_count{stage="encode"} 1`,
+		`ndetectd_stage_duration_seconds_count{stage="universe"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Histogram buckets are cumulative: counts never decrease along le.
+	prev := uint64(0)
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "ndetectd_job_duration_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+
+	// Series order is stable across scrapes.
+	body2, _ := get()
+	series2 := scrapeSeries(t, body2)
+	if len(series) != len(series2) {
+		t.Fatalf("series count changed between scrapes: %d vs %d", len(series), len(series2))
+	}
+	for i := range series {
+		if series[i] != series2[i] {
+			t.Fatalf("series order changed at %d: %s vs %s", i, series[i], series2[i])
+		}
+	}
+
+	// HEAD answers with headers only (the GET route pattern covers it and
+	// net/http discards the body).
+	resp, err := http.Head(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /metrics: HTTP %d", resp.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp.Body); len(b) != 0 {
+		t.Errorf("HEAD /metrics returned a %d-byte body", len(b))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Errorf("HEAD Content-Type %q", ct)
+	}
+}
+
+// The debug handler serves pprof and per-job span dumps.
+func TestDebugHandler(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	api := NewServer(m)
+	ts := httptest.NewServer(api.DebugHandler())
+	defer ts.Close()
+
+	info, _, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	body, code := getBody(t, ts.URL+"/trace/"+info.ID)
+	if code != http.StatusOK {
+		t.Fatalf("/trace/{id}: HTTP %d: %s", code, body)
+	}
+	for _, want := range []string{`"name": "canonicalize"`, `"name": "encode"`, `"dur_ns"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace dump missing %s:\n%s", want, body)
+		}
+	}
+	if _, code := getBody(t, ts.URL+"/trace/ffffffffffffffffffffffff"); code != http.StatusNotFound {
+		t.Errorf("unknown trace: HTTP %d", code)
+	}
+	if body, code := getBody(t, ts.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: HTTP %d", code)
+	}
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"ndetect/internal/obs"
+)
+
+// Observability wiring (DESIGN.md §14): per-job span recorders feeding
+// latency histograms, a bounded trace log behind the daemon's
+// /trace/{id} endpoint, and gauges for the live scheduler state. All
+// clock reads happen inside internal/obs — this package only calls
+// hooks, so the detrand lint scope stays clean and results stay pure in
+// (circuit, identity options, seed).
+
+// DefaultTraceDepth bounds the retained completed-job traces when
+// Config leaves TraceDepth unset.
+const DefaultTraceDepth = 128
+
+// metrics is the manager's observability surface: lock-cheap atomics
+// recorded on the serving hot path and rendered by GET /metrics.
+type metrics struct {
+	// jobDur observes end-to-end job latency, submit to terminal state.
+	jobDur *obs.Histogram
+	// stageDur observes per-stage latency, labeled by span name (driver
+	// phases and progress stages — a small, bounded set).
+	stageDur *obs.HistogramVec
+	// storeDur observes store I/O latency, labeled tier_op
+	// (e.g. "results_get", "universes_put").
+	storeDur *obs.HistogramVec
+
+	// streaming counts open SSE event subscriptions — the one live gauge
+	// the scheduler state cannot answer (queue depth, inflight jobs and
+	// universe flights all derive from Counters).
+	streaming obs.Gauge
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobDur:   obs.NewHistogram(nil),
+		stageDur: obs.NewHistogramVec(nil),
+		storeDur: obs.NewHistogramVec(nil),
+	}
+}
+
+// observeTrace feeds one completed job's spans into the per-stage
+// histograms.
+func (mt *metrics) observeTrace(spans []obs.Span) {
+	for _, sp := range spans {
+		mt.stageDur.Observe(sp.Name, float64(sp.DurNs)/1e9)
+	}
+}
+
+// storeObserver adapts the metrics to the artifact store's I/O hook
+// (store.Observer): timing lives here, on the obs side, never in the
+// store itself.
+type storeObserver struct {
+	dur *obs.HistogramVec
+}
+
+func (o storeObserver) Op(tier, op string) func(bytes int, ok bool) {
+	t := obs.StartTimer()
+	return func(int, bool) { o.dur.Observe(tier+"_"+op, t.Seconds()) }
+}
+
+// Trace returns the span dump of one job: a live snapshot while the job
+// is in flight, or the retained trace of a recently completed job. ok is
+// false for unknown jobs, jobs evicted from the trace log, and managers
+// with tracing disabled.
+func (m *Manager) Trace(id string) ([]obs.Span, bool) {
+	m.mu.Lock()
+	if j, ok := m.inflight[id]; ok && j.rec != nil {
+		rec := j.rec
+		m.mu.Unlock()
+		return rec.Snapshot(), true
+	}
+	m.mu.Unlock()
+	if m.traces == nil {
+		return nil, false
+	}
+	return m.traces.Get(id)
+}

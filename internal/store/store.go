@@ -45,6 +45,19 @@ type Options struct {
 	MaxBytes int64
 }
 
+// Observer observes store I/O for latency histograms and throughput
+// accounting (DESIGN.md §14). Op is called as one tier operation
+// ("get"/"put") starts; the returned function is called when it
+// completes with the artifact size moved (0 on a miss or failure) and
+// whether it hit/succeeded. All timing happens inside the
+// implementation (obs.Recorder-side), never in this package — store
+// artifacts are pure functions of their keys and the lint contract
+// keeps the clock out of here (DESIGN.md §13). Observations must never
+// influence what the store returns.
+type Observer interface {
+	Op(tier, op string) (done func(bytes int, ok bool))
+}
+
 // TierCounters is a snapshot of one tier's monitoring counters.
 type TierCounters struct {
 	Hits      uint64 `json:"hits"`
@@ -77,6 +90,7 @@ type Store struct {
 	maxBytes int64
 
 	mu      sync.Mutex
+	obs     Observer          // nil = unobserved
 	entries map[string]*entry // index key = tier + "/" + key
 	head    *entry
 	tail    *entry
@@ -154,8 +168,30 @@ func (s *Store) Close() error { return nil }
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SetObserver installs (or, with nil, removes) the store's I/O observer.
+// The serving layer wires its latency histograms in here; a store used
+// bare (the CLI) stays unobserved.
+func (s *Store) SetObserver(o Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
+}
+
+// observe opens one observation; the returned function is never nil.
+func (s *Store) observe(tier, op string) func(bytes int, ok bool) {
+	s.mu.Lock()
+	o := s.obs
+	s.mu.Unlock()
+	if o == nil {
+		return func(int, bool) {}
+	}
+	return o.Op(tier, op)
+}
+
 // put writes one artifact crash-safely and evicts for space.
-func (s *Store) put(tier, key string, data []byte) error {
+func (s *Store) put(tier, key string, data []byte) (err error) {
+	done := s.observe(tier, "put")
+	defer func() { done(len(data), err == nil) }()
 	path := s.path(tier, key)
 	if err := writeFileAtomic(path, data); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -186,7 +222,9 @@ func (s *Store) put(tier, key string, data []byte) error {
 // externally deleted file is a miss. The file read happens with the lock
 // released — universe artifacts reach hundreds of megabytes, and one
 // read must not stall every other store operation.
-func (s *Store) get(tier, key string) ([]byte, bool) {
+func (s *Store) get(tier, key string) (artifact []byte, found bool) {
+	done := s.observe(tier, "get")
+	defer func() { done(len(artifact), found) }()
 	path := s.path(tier, key)
 	id := tier + "/" + key
 	s.mu.Lock()

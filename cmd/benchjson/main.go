@@ -26,6 +26,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"ndetect/internal/obs"
 )
 
 // Result is one parsed benchmark line.
@@ -47,8 +49,12 @@ type Result struct {
 
 // BenchSchema versions the document layout, stamped into every emitted
 // document so archived BENCH_*.json trajectories are self-describing:
-// v2 added the schema field itself and the memcpy_mb_s host baseline.
-const BenchSchema = "ndetect.bench/v2"
+// v2 added the schema field itself and the memcpy_mb_s host baseline;
+// v3 added the load field, merging ndetect.load/v1 summaries from
+// ndetect-loadgen into the trajectory. Every added field is optional, so
+// v2 (and pre-v2) archives still parse — old documents simply carry no
+// load runs.
+const BenchSchema = "ndetect.bench/v3"
 
 // Document is the emitted JSON root.
 type Document struct {
@@ -64,6 +70,10 @@ type Document struct {
 	MemcpyMBps float64           `json:"memcpy_mb_s,omitempty"`
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks []Result          `json:"benchmarks"`
+	// Load holds the ndetect.load/v1 summaries merged into this run with
+	// -load (v3) — the serving-side trajectory riding along with the
+	// kernel benchmarks.
+	Load []obs.LoadDocument `json:"load,omitempty"`
 }
 
 // stamp fills the derived document fields after parsing: the schema
@@ -77,13 +87,31 @@ func (doc *Document) stamp() {
 	}
 }
 
+// fileList collects a repeatable -load flag.
+type fileList []string
+
+func (f *fileList) String() string     { return strings.Join(*f, ",") }
+func (f *fileList) Set(v string) error { *f = append(*f, v); return nil }
+
 func main() {
 	tag := flag.String("tag", "", "optional run label recorded in the document")
 	echo := flag.Bool("echo", false, "echo non-benchmark lines to stderr")
 	gate := flag.String("gate", "", "baseline JSON to gate stream throughput against (see gate.go); non-zero exit on regression")
+	var loads fileList
+	flag.Var(&loads, "load", "ndetect.load/v1 document to merge into the run (repeatable)")
+	slo := flag.Bool("slo", false, "gate the merged load documents against the serving SLOs (see slo.go); non-zero exit on violation")
+	sloP99 := flag.Float64("slo-p99", defaultSLOP99, "per-class p99 latency budget in seconds for -slo")
 	flag.Parse()
 
 	doc := Document{Tag: *tag, Context: map[string]string{}, Benchmarks: []Result{}}
+	for _, path := range loads {
+		ld, err := readLoadDocument(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		doc.Load = append(doc.Load, ld)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -116,6 +144,12 @@ func main() {
 	if *gate != "" {
 		if err := runGate(&doc, *gate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: perf gate:", err)
+			os.Exit(1)
+		}
+	}
+	if *slo {
+		if err := runSLOGate(&doc, *sloP99); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: SLO gate:", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ndetect/internal/obs"
+)
+
+// loadDoc builds a minimal healthy load document with one class whose
+// latency histogram has count observations at around p99latency seconds.
+func loadDoc(p99latency float64) obs.LoadDocument {
+	h := obs.NewHistogram(nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(p99latency / 2)
+	}
+	h.Observe(p99latency)
+	c := obs.LoadClass{Name: "hot", Scheduled: 101, Requests: 101, Latency: h.Snapshot()}
+	c.Stamp()
+	return obs.LoadDocument{
+		Schema:  obs.LoadSchema,
+		Tag:     "test",
+		Arrival: obs.ArrivalPoisson,
+		Classes: []obs.LoadClass{c},
+	}
+}
+
+func TestSLOGatePasses(t *testing.T) {
+	doc := Document{Load: []obs.LoadDocument{loadDoc(0.01)}}
+	if err := runSLOGate(&doc, defaultSLOP99); err != nil {
+		t.Fatalf("healthy run failed the gate: %v", err)
+	}
+}
+
+func TestSLOGateRequiresLoadDocuments(t *testing.T) {
+	if err := runSLOGate(&Document{}, defaultSLOP99); err == nil {
+		t.Fatal("gate passed with no load documents")
+	}
+}
+
+func TestSLOGateFailsOnIdentityMismatch(t *testing.T) {
+	ld := loadDoc(0.01)
+	ld.IdentityMismatches = 1
+	// Identity is gated even under deliberate overload.
+	ld.DeliberateOverload = true
+	doc := Document{Load: []obs.LoadDocument{ld}}
+	if err := runSLOGate(&doc, defaultSLOP99); err == nil {
+		t.Fatal("gate passed with an identity mismatch")
+	}
+}
+
+func TestSLOGateFailsOn5xxEvenUnderOverload(t *testing.T) {
+	ld := loadDoc(0.01)
+	ld.DeliberateOverload = true
+	ld.Classes[0].Errors5xx = 2
+	doc := Document{Load: []obs.LoadDocument{ld}}
+	if err := runSLOGate(&doc, defaultSLOP99); err == nil {
+		t.Fatal("gate passed with non-shed 5xx")
+	}
+}
+
+func TestSLOGateShedsOnlyFailSteadyState(t *testing.T) {
+	ld := loadDoc(0.01)
+	ld.Classes[0].Shed = 5
+	doc := Document{Load: []obs.LoadDocument{ld}}
+	if err := runSLOGate(&doc, defaultSLOP99); err == nil {
+		t.Fatal("gate passed a steady-state run with sheds")
+	}
+	ld.DeliberateOverload = true
+	doc = Document{Load: []obs.LoadDocument{ld}}
+	if err := runSLOGate(&doc, defaultSLOP99); err != nil {
+		t.Fatalf("deliberate-overload run failed on expected sheds: %v", err)
+	}
+}
+
+func TestSLOGateFailsOnP99OverBudget(t *testing.T) {
+	// p99 lands near 4s with a 2s budget: recomputed from the buckets,
+	// the gate must fail the class.
+	doc := Document{Load: []obs.LoadDocument{loadDoc(4.0)}}
+	if err := runSLOGate(&doc, defaultSLOP99); err == nil {
+		t.Fatal("gate passed a p99 over budget")
+	}
+}
+
+func TestSLOGateFailsOnEmptyRun(t *testing.T) {
+	ld := loadDoc(0.01)
+	ld.Classes[0].Requests = 0
+	ld.Classes[0].Latency = obs.HistogramSnapshot{}
+	doc := Document{Load: []obs.LoadDocument{ld}}
+	if err := runSLOGate(&doc, defaultSLOP99); err == nil {
+		t.Fatal("gate passed a run with zero completed requests")
+	}
+}
+
+// A v3 document merging a load summary round-trips, and a v2 document
+// (no load field) still parses into the same struct — the schema bump is
+// purely additive.
+func TestDocumentV3RoundTripAndV2Compat(t *testing.T) {
+	doc := Document{
+		Tag:        "rt",
+		Benchmarks: []Result{{Name: "EngineStream/x", Procs: 4, Iterations: 10, NsPerOp: 5, Metrics: map[string]float64{"MB/s": 100}}},
+		Load:       []obs.LoadDocument{loadDoc(0.01)},
+	}
+	doc.stamp()
+	if doc.Schema != BenchSchema || BenchSchema != "ndetect.bench/v3" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	raw, err := json.Marshal(&doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Load) != 1 || back.Load[0].Classes[0].Name != "hot" {
+		t.Fatalf("load lost in round trip: %+v", back.Load)
+	}
+	// The embedded histogram buckets survive: quantiles recompute to the
+	// stamped values.
+	got := back.Load[0].Classes[0].Latency.Quantile(0.99)
+	want := doc.Load[0].Classes[0].P99
+	if got != want {
+		t.Fatalf("recomputed p99 %v != stamped %v", got, want)
+	}
+
+	v2 := []byte(`{"schema":"ndetect.bench/v2","tag":"old","benchmarks":[{"name":"MemBandwidth","procs":1,"iterations":3,"ns_per_op":9,"metrics":{"MB/s":12000}}]}`)
+	var old Document
+	if err := json.Unmarshal(v2, &old); err != nil {
+		t.Fatalf("v2 document no longer parses: %v", err)
+	}
+	if old.Tag != "old" || len(old.Benchmarks) != 1 || old.Load != nil {
+		t.Fatalf("v2 parse: %+v", old)
+	}
+}

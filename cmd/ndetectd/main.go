@@ -69,10 +69,14 @@ func main() {
 		modelF    = flag.String("fault-model", "", `fault model filled into submissions that name none ("" = the stuck-at + bridging default); requests carrying their own options.fault_model are unaffected (DESIGN.md §12)`)
 		drainF    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight analyses")
 		debugF    = flag.String("debug-addr", "", "separate introspection listener: net/http/pprof and /trace/{id} span dumps (empty = off; keep private, DESIGN.md §14)")
+		queueF    = flag.Int("max-queue", service.DefaultMaxQueue, "accept-queue bound: submissions beyond it shed with 503 + Retry-After (0 = unbounded; DESIGN.md §15)")
+		quotaF    = flag.Float64("quota-rps", 0, "per-client submission quota in requests/second, keyed by X-Ndetect-Client or remote host (0 = off; over-quota submits shed with 429)")
+		burstF    = flag.Int("quota-burst", 0, "per-client quota burst size (0 = 2×quota-rps)")
+		sampleF   = flag.Int("access-log-sample", 1, "log every Nth API request (0 = off, 1 = all; responses ≥500 are always logged)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-fault-model ID] [-drain 30s] [-debug-addr :8415]")
+		fmt.Fprintln(os.Stderr, "usage: ndetectd [-addr :8414] [-workers N] [-cache N] [-store-dir DIR] [-store-max-bytes N] [-fault-model ID] [-drain 30s] [-debug-addr :8415] [-max-queue N] [-quota-rps R] [-quota-burst N] [-access-log-sample N]")
 		os.Exit(2)
 	}
 	if _, err := fault.Resolve(*modelF); err != nil {
@@ -90,11 +94,14 @@ func main() {
 	m := service.NewManager(service.Config{
 		Workers: *workersF, CacheEntries: *cacheF, Store: st,
 		DefaultFaultModel: *modelF,
+		MaxQueue:          *queueF,
+		QuotaRPS:          *quotaF,
+		QuotaBurst:        *burstF,
 	})
 	api := service.NewServer(m)
 	srv := &http.Server{
 		Addr:              *addrF,
-		Handler:           obs.AccessLog(log.Printf, api.Handler()),
+		Handler:           obs.AccessLogSampled(log.Printf, *sampleF, api.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if *debugF != "" {

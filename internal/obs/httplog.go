@@ -2,6 +2,7 @@ package obs
 
 import (
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,13 +17,43 @@ import (
 //
 //	http method=GET path=/jobs/abc123 status=200 bytes=412 dur=1.2ms
 func AccessLog(logf func(format string, args ...any), next http.Handler) http.Handler {
+	return AccessLogSampled(logf, 1, next)
+}
+
+// AccessLogSampled is AccessLog with a sampling knob for load runs: only
+// every sample-th request is logged (0 = none, 1 = all), so a sustained
+// 60 s load test doesn't flood stderr — and doesn't distort the very
+// latency it is measuring with per-request log I/O. Server errors
+// (status >= 500) are always logged regardless of the sample rate; they
+// are rare by contract and each one matters.
+func AccessLogSampled(logf func(format string, args ...any), sample int, next http.Handler) http.Handler {
+	var n atomic.Uint64
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		sampled := sample == 1 || (sample > 1 && n.Add(1)%uint64(sample) == 1)
+		if !sampled && rec.status < http.StatusInternalServerError {
+			return
+		}
 		logf("http method=%s path=%s status=%d bytes=%d dur=%s",
 			r.Method, r.URL.Path, rec.status, rec.bytes,
 			time.Since(t0).Round(10*time.Microsecond))
+	})
+}
+
+// TimeHandler wraps next so record receives the response status and the
+// request's wall-clock duration in seconds once it completes — the hook
+// behind the daemon's per-class request-latency histograms. The clock
+// stays here in obs; the serving package only supplies the recording
+// closure. For streaming responses (SSE) the duration is the stream
+// lifetime.
+func TimeHandler(record func(status int, seconds float64), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		record(rec.status, time.Since(t0).Seconds())
 	})
 }
 

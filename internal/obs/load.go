@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The ndetect.load/v1 document: the machine-readable summary one
+// ndetect-loadgen run emits, designed to join the BENCH_*.json
+// trajectory (cmd/benchjson merges load documents alongside benchmark
+// records and gates SLOs over them, DESIGN.md §15). Per-class latency is
+// carried as the raw cumulative-bucket histogram snapshot, not just
+// point percentiles, so downstream tooling re-derives any quantile with
+// HistogramSnapshot.Quantile instead of trusting pre-baked numbers.
+
+// LoadSchema versions the load-summary document layout.
+const LoadSchema = "ndetect.load/v1"
+
+// LoadClass summarizes one workload class of a load run.
+type LoadClass struct {
+	// Name is the class label: "hot", "cold", "sweep", "events".
+	Name string `json:"name"`
+	// Scheduled counts arrivals the open-loop schedule assigned to this
+	// class; Requests counts the ones that ran to a terminal outcome
+	// (success, shed or error) before the run's deadline.
+	Scheduled int64 `json:"scheduled"`
+	Requests  int64 `json:"requests"`
+	// Shed counts admission rejections — HTTP 503 (queue full or
+	// draining) and 429 (per-client quota). Sheds are the daemon working
+	// as designed under overload; the SLO gate fails on them only when
+	// the run was not a deliberate-overload run.
+	Shed int64 `json:"shed"`
+	// Errors5xx counts server errors that are NOT admission sheds —
+	// the "non-deliberate 5xx" an SLO run must keep at zero.
+	Errors5xx int64 `json:"errors_5xx"`
+	// Errors counts transport failures and unexpected statuses (neither
+	// 2xx, shed, nor 5xx — e.g. a 404 for a job the daemon should know).
+	Errors int64 `json:"errors"`
+	// Latency is the class's completion-latency histogram in seconds,
+	// measured open-loop: from the scheduled arrival instant (not the
+	// instant the client got around to sending) to the terminal outcome,
+	// so coordinated omission cannot hide server stalls.
+	Latency HistogramSnapshot `json:"latency"`
+	// P50..P999 are quantiles of Latency in seconds, stamped via
+	// Quantile for human readers; the gate recomputes from the buckets.
+	P50  float64 `json:"p50_s"`
+	P90  float64 `json:"p90_s"`
+	P99  float64 `json:"p99_s"`
+	P999 float64 `json:"p999_s"`
+}
+
+// Stamp fills the derived quantile fields from the latency snapshot.
+func (c *LoadClass) Stamp() {
+	c.P50 = c.Latency.Quantile(0.50)
+	c.P90 = c.Latency.Quantile(0.90)
+	c.P99 = c.Latency.Quantile(0.99)
+	c.P999 = c.Latency.Quantile(0.999)
+}
+
+// LoadDocument is the ndetect.load/v1 root.
+type LoadDocument struct {
+	Schema string `json:"schema"`
+	Tag    string `json:"tag,omitempty"`
+	// Target is the daemon address the run drove.
+	Target string `json:"target,omitempty"`
+	// Arrival is the open-loop arrival process: "poisson" or "fixed".
+	Arrival string `json:"arrival"`
+	Seed    int64  `json:"seed"`
+	// TargetRPS is the configured arrival rate; AchievedRPS is terminal
+	// outcomes per second of actual wall-clock run time. A healthy
+	// closed SLO loop keeps the two close; a collapsing daemon drags
+	// AchievedRPS down while arrivals keep coming.
+	TargetRPS       float64 `json:"target_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Classes holds the per-class summaries in mix order.
+	Classes []LoadClass `json:"classes"`
+	// IdentityChecks/IdentityMismatches count byte-identity spot checks
+	// of served result documents against the in-process driver: any
+	// mismatch is a broken determinism contract, gated at zero always.
+	IdentityChecks     int64 `json:"identity_checks"`
+	IdentityMismatches int64 `json:"identity_mismatches"`
+	// DeliberateOverload marks a run configured to exceed the daemon's
+	// admission capacity: sheds are then the expected outcome and the
+	// SLO gate does not fail on them (it still fails on Errors5xx and
+	// identity mismatches).
+	DeliberateOverload bool `json:"deliberate_overload,omitempty"`
+}
+
+// FormatLoadTable renders the per-class summary table the loadgen CLI
+// prints to stderr.
+func FormatLoadTable(d *LoadDocument) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load %s: target %.1f rps, achieved %.1f rps over %.1fs (arrival %s, seed %d)\n",
+		d.Target, d.TargetRPS, d.AchievedRPS, d.DurationSeconds, d.Arrival, d.Seed)
+	fmt.Fprintf(&b, "%-8s %9s %9s %6s %6s %6s %10s %10s %10s %10s\n",
+		"class", "scheduled", "done", "shed", "5xx", "err", "p50", "p90", "p99", "p999")
+	for _, c := range d.Classes {
+		fmt.Fprintf(&b, "%-8s %9d %9d %6d %6d %6d %10s %10s %10s %10s\n",
+			c.Name, c.Scheduled, c.Requests, c.Shed, c.Errors5xx, c.Errors,
+			formatSeconds(c.P50), formatSeconds(c.P90), formatSeconds(c.P99), formatSeconds(c.P999))
+	}
+	fmt.Fprintf(&b, "identity spot checks: %d, mismatches: %d\n", d.IdentityChecks, d.IdentityMismatches)
+	return b.String()
+}
+
+// formatSeconds renders a latency in seconds compactly ("-" for NaN,
+// i.e. a class with no completed observations).
+func formatSeconds(s float64) string {
+	if s != s { // NaN
+		return "-"
+	}
+	switch {
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// SortClasses orders the class summaries by name, for documents whose
+// producer accumulated them from a map (stable output is part of the
+// byte-discipline even off the identity path).
+func SortClasses(cs []LoadClass) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+}

@@ -67,13 +67,64 @@ func (h *Histogram) Observe(v float64) {
 
 // HistogramSnapshot is a consistent-enough copy of a histogram for
 // rendering: per-bucket cumulative counts (ending with +Inf), the total
-// count and the observation sum.
+// count and the observation sum. The JSON form is what the
+// ndetect.load/v1 document embeds per workload class, so SLO tooling can
+// re-derive any quantile from the raw buckets (load.go).
 type HistogramSnapshot struct {
-	Bounds     []float64 // upper bounds, ascending, excluding +Inf
-	Cumulative []uint64  // len(Bounds)+1, cumulative, last = Count
-	Count      uint64
-	Sum        float64
+	Bounds     []float64 `json:"bounds"`     // upper bounds, ascending, excluding +Inf
+	Cumulative []uint64  `json:"cumulative"` // len(Bounds)+1, cumulative, last = Count
+	Count      uint64    `json:"count"`
+	Sum        float64   `json:"sum"`
 }
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation within the winning bucket. The
+// estimate is an upper bound in the usual histogram sense: every
+// observation is attributed to its bucket's upper edge range, so the
+// returned value never undershoots the true quantile by more than one
+// bucket width (and p100 is exactly the +Inf bucket's lower edge when
+// observations landed there). Observations in the +Inf overflow bucket
+// clamp to the highest finite bound — a q that lands there reports that
+// bound, the largest value the histogram can still resolve. NaN when the
+// histogram is empty or q is outside (0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 || q > 1 || len(s.Cumulative) == 0 {
+		return math.NaN()
+	}
+	// rank is the 1-based index of the target observation; ceil keeps
+	// q=1 at the final observation and tiny q at the first.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	i := 0
+	for i < len(s.Cumulative) && s.Cumulative[i] < rank {
+		i++
+	}
+	if i >= len(s.Bounds) { // +Inf bucket: clamp to the last finite bound
+		if len(s.Bounds) == 0 {
+			return math.NaN()
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lo := 0.0
+	prev := uint64(0)
+	if i > 0 {
+		lo = s.Bounds[i-1]
+		prev = s.Cumulative[i-1]
+	}
+	hi := s.Bounds[i]
+	inBucket := s.Cumulative[i] - prev
+	if inBucket == 0 { // unreachable given the scan, but keep the math safe
+		return hi
+	}
+	return lo + (hi-lo)*float64(rank-prev)/float64(inBucket)
+}
+
+// Quantile estimates the q-quantile of the live histogram; see
+// HistogramSnapshot.Quantile for the interpolation and its upper-bound
+// caveat.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
 
 // Snapshot returns the histogram's current cumulative bucket counts.
 func (h *Histogram) Snapshot() HistogramSnapshot {
@@ -119,6 +170,20 @@ func (v *HistogramVec) Observe(label string, val float64) {
 	}
 	v.mu.Unlock()
 	h.Observe(val)
+}
+
+// Preset creates children for the given label values up front, so a
+// fixed label universe renders complete (and in stable series order)
+// from the first scrape on, before any observation lands.
+func (v *HistogramVec) Preset(labels ...string) *HistogramVec {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, l := range labels {
+		if v.kids[l] == nil {
+			v.kids[l] = NewHistogram(v.bounds)
+		}
+	}
+	return v
 }
 
 // Labels returns the observed label values in sorted (stable) order.

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Per-key token buckets for request admission (DESIGN.md §15). The
+// limiter lives in obs — not in the service package — because refill is
+// a wall-clock computation and the serving packages are inside the
+// detrand lint scope: they may hold and call a limiter, never read the
+// clock themselves. Admission decisions influence which requests run,
+// not what any result contains, so the identity contract is untouched.
+
+// RateLimiter grants rate tokens per second per key with a burst-sized
+// bucket. The zero value is invalid; use NewRateLimiter.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxIdleBuckets bounds the per-key map: beyond it, buckets already
+// refilled to full burst (i.e. idle for at least burst/rate seconds) are
+// swept on the next Allow. An adversarial key flood can still only grow
+// the map by one small struct per key between sweeps.
+const maxIdleBuckets = 4096
+
+// NewRateLimiter creates a limiter granting rate tokens/second with
+// bursts of burst. rate <= 0 disables limiting (Allow always grants).
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &RateLimiter{rate: rate, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+// Allow consumes one token from key's bucket. When the bucket is empty
+// it reports false with the time until the next token accrues — the
+// Retry-After hint of an HTTP 429.
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxIdleBuckets {
+			l.sweepLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// sweepLocked drops buckets that have refilled to full burst — keys idle
+// long enough that forgetting them is indistinguishable from keeping
+// them.
+func (l *RateLimiter) sweepLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

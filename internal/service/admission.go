@@ -1,0 +1,62 @@
+package service
+
+import (
+	"math"
+	"time"
+)
+
+// Request admission (DESIGN.md §15): the accept queue is bounded
+// (Config.MaxQueue, enforced in submitLocked) so overload degrades to
+// explicit 503 sheds instead of an ever-growing backlog, and per-client
+// token-bucket quotas (Config.QuotaRPS/QuotaBurst) keep one chatty
+// client from starving the rest. Every clock read behind both lives in
+// internal/obs — this package only calls the hooks — and admission
+// decides only *whether* a request runs, never what its result contains,
+// so the §7 identity contract is untouched.
+
+// AdmitClient consumes one submit token from the client's quota bucket.
+// ok is false when the bucket is empty; retryAfter is then the whole
+// number of seconds (at least 1, the HTTP Retry-After granularity) until
+// a token accrues. Managers without quotas admit everything.
+func (m *Manager) AdmitClient(key string) (ok bool, retryAfter int) {
+	if m.quota == nil {
+		return true, 0
+	}
+	allowed, wait := m.quota.Allow(key)
+	if allowed {
+		return true, 0
+	}
+	m.mu.Lock()
+	m.ctr.ShedQuota++
+	m.mu.Unlock()
+	secs := int(wait / time.Second)
+	if wait%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	return false, secs
+}
+
+// RetryAfter estimates how many seconds an overloaded or draining server
+// should tell clients to back off: the queued backlog times the mean job
+// duration observed so far, divided across the worker budget, clamped to
+// [1, 120]. The estimate is derived purely from the latency histogram
+// and the live queue depth — no clock is read here.
+func (m *Manager) RetryAfter() int {
+	s := m.met.jobDur.Snapshot()
+	mean := 1.0 // no completed job yet: guess a second
+	if s.Count > 0 {
+		mean = s.Sum / float64(s.Count)
+	}
+	m.mu.Lock()
+	queued := len(m.queue)
+	m.mu.Unlock()
+	est := math.Ceil(mean * float64(queued+1) / float64(m.workers))
+	switch {
+	case est < 1:
+		return 1
+	case est > 120:
+		return 120
+	default:
+		return int(est)
+	}
+}

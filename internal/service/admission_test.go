@@ -1,0 +1,243 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/exp"
+	"ndetect/internal/report"
+)
+
+// blockedManager returns a manager whose (stubbed) analyses block until
+// release is closed — the scheduler state is then fully controllable
+// from the test.
+func blockedManager(cfg Config, release chan struct{}) *Manager {
+	cfg.run = func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+		<-release
+		return stubAnalysis(req.Kind), nil
+	}
+	return NewManager(cfg)
+}
+
+// The bounded accept queue: once MaxQueue jobs wait, further distinct
+// submissions shed with ErrOverloaded — but cache hits and coalesces
+// still land, and releasing the backlog restores admission.
+func TestSubmitShedsAtQueueBound(t *testing.T) {
+	release := make(chan struct{})
+	m := blockedManager(Config{Workers: 1, MaxQueue: 1}, release)
+
+	// Seed 1 dispatches immediately (queue stays empty), seed 2 occupies
+	// the single queue slot, seed 3 must shed.
+	first, _, err := m.Submit(c17(t), averageReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Submit(c17(t), averageReq(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = m.Submit(c17(t), averageReq(3))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third submit err = %v, want ErrOverloaded", err)
+	}
+
+	// A coalesce onto the queued job is not shed — it consumes no slot.
+	joined, cached, err := m.Submit(c17(t), averageReq(2))
+	if err != nil || cached {
+		t.Fatalf("coalesce while full: err=%v cached=%v", err, cached)
+	}
+	if joined.State != JobQueued {
+		t.Fatalf("coalesced job state = %s", joined.State)
+	}
+
+	ctr := m.Counters()
+	if ctr.ShedQueue != 1 || ctr.QueueLimit != 1 || ctr.Queued != 1 {
+		t.Fatalf("counters after shed: %+v", ctr)
+	}
+
+	close(release)
+	if _, err := m.Wait(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	// With the backlog draining, the shed request is admitted on retry.
+	info, _, err := m.Submit(c17(t), averageReq(3))
+	if err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+	if _, err := m.Wait(info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cache hit is served even when the queue is full again.
+	release2 := make(chan struct{}, 1)
+	m2 := blockedManager(Config{Workers: 1, MaxQueue: 1}, release2)
+	warm, _, err := m2.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2 <- struct{}{} // let the warming job finish → result cached
+	if _, err := m2.Wait(warm.ID); err != nil {
+		t.Fatal(err)
+	}
+	m2.Submit(c17(t), averageReq(1)) // occupies the worker
+	m2.Submit(c17(t), averageReq(2)) // occupies the single queue slot
+	if _, cached, err := m2.Submit(c17(t), worstcaseReq()); err != nil || !cached {
+		t.Fatalf("cache hit while full: err=%v cached=%v", err, cached)
+	}
+	close(release2)
+}
+
+// HTTP overload semantics: the shed is a 503 with a Retry-After hint —
+// the daemon refuses explicitly instead of queueing without bound.
+func TestHTTPOverloadIs503WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := blockedManager(Config{Workers: 1, MaxQueue: 1}, release)
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	submit := func(seed int) *http.Response {
+		t.Helper()
+		body := fmt.Sprintf(`{"format":"bench","source":%q,"analysis":"average","options":{"nmax":2,"k":20,"seed":%d}}`, c17Source, seed)
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for seed := 1; seed <= 2; seed++ {
+		resp := submit(seed)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", seed, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp := submit(3)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("overloaded 503 carries Retry-After %q, want a positive hint", ra)
+	}
+
+	// The shed is visible in /metrics, alongside the queue bound and the
+	// admission/request-latency histogram families.
+	metrics, code := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	for _, want := range []string{
+		"ndetectd_shed_queue_total 1",
+		"ndetectd_shed_quota_total 0",
+		"ndetectd_queue_limit 1",
+		"ndetectd_jobs_queued 1",
+		"ndetectd_admission_wait_seconds_bucket",
+		`ndetectd_http_request_duration_seconds_bucket{class="submit"`,
+		`ndetectd_http_request_duration_seconds_bucket{class="events"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// Per-client quotas: a client that exceeds its token bucket gets 429 +
+// Retry-After while other clients keep being admitted; the sheds count
+// in the quota counter, not the queue counter.
+func TestHTTPQuotaSheds429PerClient(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := blockedManager(Config{Workers: 4, QuotaRPS: 0.5, QuotaBurst: 2}, release)
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	submit := func(client string, seed int) *http.Response {
+		t.Helper()
+		body := fmt.Sprintf(`{"format":"bench","source":%q,"analysis":"average","options":{"nmax":2,"k":20,"seed":%d}}`, c17Source, seed)
+		req, err := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if client != "" {
+			req.Header.Set("X-Ndetect-Client", client)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	for seed := 1; seed <= 2; seed++ {
+		resp := submit("alice", seed)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("alice submit %d: HTTP %d", seed, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp := submit("alice", 3)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over quota: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 Retry-After %q, want a positive hint", ra)
+	}
+	resp.Body.Close()
+
+	// Another client is unaffected by alice's empty bucket.
+	resp = submit("bob", 4)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob submit: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	ctr := m.Counters()
+	if ctr.ShedQuota != 1 || ctr.ShedQueue != 0 {
+		t.Fatalf("counters: %+v", ctr)
+	}
+	metrics, _ := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "ndetectd_shed_quota_total 1") {
+		t.Error("quota shed not visible in /metrics")
+	}
+
+	// Quotas guard submissions only: status polls stay unmetered.
+	for i := 0; i < 10; i++ {
+		req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+		req.Header.Set("X-Ndetect-Client", "alice")
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("healthz for a quota-exhausted client: HTTP %d", r.StatusCode)
+		}
+		r.Body.Close()
+	}
+}
+
+// The admission-wait histogram observes every dispatched job, and
+// RetryAfter produces a sane clamped estimate.
+func TestAdmissionWaitAndRetryAfter(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	if got := m.RetryAfter(); got < 1 || got > 120 {
+		t.Fatalf("idle RetryAfter = %d, want within [1, 120]", got)
+	}
+	info, _, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.met.admitWait.Snapshot().Count; got != 1 {
+		t.Fatalf("admission-wait observations = %d, want 1", got)
+	}
+	if got := m.RetryAfter(); got < 1 || got > 120 {
+		t.Fatalf("RetryAfter = %d, want within [1, 120]", got)
+	}
+}

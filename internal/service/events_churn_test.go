@@ -1,0 +1,154 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ndetect/internal/circuit"
+	"ndetect/internal/exp"
+	"ndetect/internal/report"
+)
+
+// SSE subscriber churn soak (§15): subscribers attach, stall without
+// reading, and detach mid-job, over and over, while the job keeps
+// publishing progress. The contract under churn is threefold — the
+// scheduler never blocks on a slow or vanished consumer (the job
+// completes promptly once allowed), no subscription leaks (the
+// streaming gauge returns to zero once every connection is gone), and a
+// subscriber that stays attached still receives the terminal event.
+func TestEventStreamSubscriberChurn(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(Config{
+		Workers: 2,
+		run: func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+			// Publish progress continuously until released: the churn below
+			// happens against a live, chatty stream.
+			for i := 0; ; i++ {
+				select {
+				case <-release:
+					req.Progress("soak", 100, 100)
+					return stubAnalysis(req.Kind), nil
+				default:
+					req.Progress("soak", i%100, 100)
+					time.Sleep(500 * time.Microsecond)
+				}
+			}
+		},
+	})
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	info, _, err := m.Submit(c17(t), worstcaseReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsURL := ts.URL + "/jobs/" + info.ID + "/events"
+
+	// Churn: waves of subscribers that read a little and hang up, plus
+	// stallers that attach and never read before vanishing.
+	var wg sync.WaitGroup
+	for wave := 0; wave < 4; wave++ {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(readSome bool) {
+				defer wg.Done()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				req, _ := http.NewRequestWithContext(ctx, "GET", eventsURL, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return // churn races job completion; a failed dial is fine
+				}
+				defer resp.Body.Close()
+				if readSome {
+					sc := bufio.NewScanner(resp.Body)
+					for n := 0; n < 10 && sc.Scan(); n++ {
+					}
+				} else {
+					time.Sleep(2 * time.Millisecond) // stall: attached, never reading
+				}
+			}(i%2 == 0)
+		}
+		wg.Wait()
+	}
+
+	// One subscriber stays attached through completion and must see the
+	// terminal state event.
+	survivor, err := http.Get(eventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Body.Close()
+
+	// The scheduler survived the churn: releasing the job completes it
+	// promptly (a publisher blocked on a dead subscriber would hang here).
+	close(release)
+	if _, err := m.Wait(info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	events := parseSSE(t, bufio.NewScanner(survivor.Body))
+	last := events[len(events)-1]
+	if !last.Terminal() || last.Info.State != JobDone {
+		t.Fatalf("survivor's last event: %+v", last)
+	}
+
+	// No subscription leak: with every connection closed, the streaming
+	// gauge drains back to zero (handler teardown is asynchronous).
+	survivor.Body.Close()
+	deadline := time.After(10 * time.Second)
+	for m.met.streaming.Value() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("streaming gauge stuck at %d after churn", m.met.streaming.Value())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Churn against many short jobs: subscriptions opened on jobs that
+// complete while churn is in flight must still drain the gauge to zero —
+// the late-subscriber snapshot path and the live path share teardown.
+func TestEventStreamChurnAcrossJobs(t *testing.T) {
+	m := NewManager(Config{Workers: 2, run: func(c *circuit.Circuit, req exp.AnalysisRequest) (*report.Analysis, error) {
+		req.Progress("quick", 1, 1)
+		return stubAnalysis(req.Kind), nil
+	}})
+	ts := httptest.NewServer(NewServer(m).Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"format":"bench","source":%q,"analysis":"average","options":{"nmax":2,"k":20,"seed":%d}}`, c17Source, i)
+		sub, code := postJob(t, ts.URL, body)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			parseSSE(t, bufio.NewScanner(resp.Body)) // reads to the terminal event
+		}(sub.ID)
+	}
+	wg.Wait()
+
+	deadline := time.After(10 * time.Second)
+	for m.met.streaming.Value() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("streaming gauge stuck at %d", m.met.streaming.Value())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"ndetect/internal/bench"
@@ -118,17 +120,52 @@ type Server struct {
 // NewServer wraps a manager.
 func NewServer(m *Manager) *Server { return &Server{m: m} }
 
-// Handler returns the route table.
+// Handler returns the route table. Every route is wrapped in a
+// per-class latency recorder (obs.TimeHandler — the clock stays in obs),
+// feeding the ndetectd_http_request_duration_seconds histogram family.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("POST /sweeps", s.handleSweep)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("POST /jobs", s.timed("submit", s.handleSubmit))
+	mux.Handle("POST /sweeps", s.timed("sweep", s.handleSweep))
+	mux.Handle("GET /jobs/{id}", s.timed("status", s.handleStatus))
+	mux.Handle("GET /jobs/{id}/result", s.timed("result", s.handleResult))
+	mux.Handle("GET /jobs/{id}/events", s.timed("events", s.handleEvents))
+	mux.Handle("GET /healthz", s.timed("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.timed("metrics", s.handleMetrics))
 	return mux
+}
+
+// timed wraps one route with the per-class request-latency recorder.
+func (s *Server) timed(class string, h http.HandlerFunc) http.Handler {
+	return obs.TimeHandler(func(_ int, seconds float64) {
+		s.m.met.httpDur.Observe(class, seconds)
+	}, h)
+}
+
+// clientKey identifies the quota bucket of a request: the value of the
+// X-Ndetect-Client header when the client names itself (the deployment
+// hands quota identities out with API endpoints), else the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Ndetect-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admit runs the per-client quota check for a submission route: on a
+// shed it writes the 429 itself and reports false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	ok, retry := s.m.AdmitClient(clientKey(r))
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			"client quota exceeded; retry after %ds (key it with the X-Ndetect-Client header)", retry)
+	}
+	return ok
 }
 
 // DebugHandler returns the introspection routes the daemon serves on its
@@ -169,6 +206,9 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var sub SubmitRequest
 	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(body).Decode(&sub); err != nil {
@@ -189,7 +229,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	info, cached, err := s.m.Submit(c, req)
 	if err != nil {
-		writeError(w, submitErrorCode(err), "%v", err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	code := http.StatusAccepted
@@ -202,6 +242,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // handleSweep enqueues a variant grid over one circuit: 200 when every
 // variant was already computed, 202 otherwise.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var sub SweepRequest
 	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(body).Decode(&sub); err != nil {
@@ -237,7 +280,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	jobs, err := s.m.SubmitSweep(c, variants)
 	if err != nil {
-		writeError(w, submitErrorCode(err), "%v", err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	code := http.StatusOK
@@ -250,13 +293,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, SweepResponse{Jobs: jobs})
 }
 
-// submitErrorCode maps submission failures: a draining server is 503,
-// anything else is the caller's request.
-func submitErrorCode(err error) int {
-	if errors.Is(err, ErrShuttingDown) {
-		return http.StatusServiceUnavailable
+// writeSubmitError maps submission failures: a shed (queue full) or
+// draining server is 503 with a Retry-After estimate — the explicit
+// backpressure contract of §15, never a silent collapse — anything else
+// is the caller's request.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrShuttingDown) {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.m.RetryAfter()))
 	}
-	return http.StatusBadRequest
+	writeError(w, code, "%v", err)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -372,6 +419,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	e.Counter("ndetectd_jobs_completed_total", "jobs completed successfully", c.Completed)
 	e.Counter("ndetectd_jobs_failed_total", "jobs failed deterministically", c.Failed)
 	e.Counter("ndetectd_sweeps_total", "sweep submissions accepted", c.Sweeps)
+	e.Counter("ndetectd_shed_queue_total", "submissions shed at the accept-queue bound (503)", c.ShedQueue)
+	e.Counter("ndetectd_shed_quota_total", "submissions shed by a per-client quota (429)", c.ShedQuota)
+	e.Gauge("ndetectd_queue_limit", "configured accept-queue bound (0 = unbounded)", int64(c.QueueLimit))
 	e.Gauge("ndetectd_jobs_queued", "jobs waiting for a worker grant", int64(c.Queued))
 	e.Gauge("ndetectd_jobs_running", "jobs currently computing", int64(c.Running))
 	e.Gauge("ndetectd_jobs_inflight", "jobs queued or running", int64(c.Queued+c.Running))
@@ -385,6 +435,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	tierExposition(e, "results", sc.Results)
 	tierExposition(e, "universes", sc.Universes)
 
+	e.Histogram("ndetectd_admission_wait_seconds",
+		"time jobs spend in the accept queue, submit to worker grant", s.m.met.admitWait.Snapshot())
+	e.HistogramVec("ndetectd_http_request_duration_seconds",
+		"request latency by route class (events = SSE stream lifetime)", "class", s.m.met.httpDur)
 	e.Histogram("ndetectd_job_duration_seconds",
 		"end-to-end job latency, submit to terminal state", s.m.met.jobDur.Snapshot())
 	e.HistogramVec("ndetectd_stage_duration_seconds",

@@ -36,9 +36,23 @@ import (
 // DefaultCacheEntries bounds the result LRU when Config leaves it unset.
 const DefaultCacheEntries = 256
 
+// DefaultMaxQueue is the accept-queue bound the daemon runs with unless
+// told otherwise (§15): deep enough that a burst at typical job
+// durations drains within a Retry-After cycle, shallow enough that
+// overload turns into prompt 503 sheds instead of minutes of queueing.
+// The zero Config value still means unbounded — callers opt in.
+const DefaultMaxQueue = 256
+
 // ErrShuttingDown is returned by Submit once Drain has begun: the server
 // finishes accepted work but takes no more.
 var ErrShuttingDown = errors.New("service: shutting down")
+
+// ErrOverloaded is returned by Submit when the accept queue is at its
+// configured bound (DESIGN.md §15): the server sheds the request instead
+// of queueing without limit and collapsing under memory pressure and
+// unbounded latency. Cache hits and coalesces are never shed — they
+// consume no queue slot. HTTP maps this to 503 with a Retry-After hint.
+var ErrOverloaded = errors.New("service: overloaded, accept queue full")
 
 // Config configures a Manager.
 type Config struct {
@@ -65,6 +79,21 @@ type Config struct {
 	// result bytes either way — the byte-identity tests pin a traced run
 	// against a TraceDepth<0 one.
 	TraceDepth int
+	// MaxQueue bounds the accept queue (jobs admitted but not yet
+	// dispatched): a submission that would push the queue past the bound
+	// is shed with ErrOverloaded instead of admitted (DESIGN.md §15).
+	// 0 = unbounded, the pre-§15 behavior. Cache hits, store hits and
+	// coalesces never consume a queue slot and are never shed.
+	MaxQueue int
+	// QuotaRPS/QuotaBurst configure the per-client submit quota: each
+	// client key (the X-Ndetect-Client header, or the remote address)
+	// accrues QuotaRPS tokens per second up to QuotaBurst, and an empty
+	// bucket answers HTTP 429 with a Retry-After hint. QuotaRPS <= 0
+	// disables quotas. The quota guards submissions only — status polls,
+	// result fetches and event streams stay unmetered (they are cheap
+	// and shedding them would break clients waiting on admitted work).
+	QuotaRPS   float64
+	QuotaBurst int
 
 	// run computes one analysis; tests substitute it to observe and block
 	// the scheduler. nil = exp.AnalyzeCircuit.
@@ -127,8 +156,17 @@ type Counters struct {
 	Failed    uint64 `json:"failed"`
 	Sweeps    uint64 `json:"sweeps"` // SubmitSweep calls
 
+	// ShedQueue counts submissions shed at the accept-queue bound
+	// (ErrOverloaded, HTTP 503); ShedQuota counts submissions shed by a
+	// per-client quota (HTTP 429). Both are deliberate refusals — the
+	// overload story working — not failures.
+	ShedQueue uint64 `json:"shed_queue"`
+	ShedQuota uint64 `json:"shed_quota"`
+
 	Queued           int `json:"queued"`
 	Running          int `json:"running"`
+	// QueueLimit is the configured accept-queue bound (0 = unbounded).
+	QueueLimit int `json:"queue_limit"`
 	WorkersInUse     int `json:"workers_in_use"`
 	WorkersTotal     int `json:"workers_total"`
 	PeakWorkersInUse int `json:"peak_workers_in_use"`
@@ -153,6 +191,10 @@ type job struct {
 	result []byte
 	err    error
 
+	// queued times the job's admission wait (submit → dispatch); the
+	// timer's clock lives in obs, outside the detrand scope.
+	queued obs.Timer
+
 	// rec collects the job's trace spans (nil when tracing is disabled).
 	// Safe outside Manager.mu — the recorder carries its own lock.
 	rec *obs.Recorder
@@ -169,6 +211,10 @@ type Manager struct {
 	newUniverse  func(*circuit.Circuit, fault.Model, ndetect.AnalyzeOptions) (*ndetect.CircuitUniverse, error)
 	store        *store.Store
 	defaultModel string
+	maxQueue     int
+	// quota is the per-client admission limiter (nil when disabled). The
+	// limiter owns every clock read; this package only asks it.
+	quota *obs.RateLimiter
 
 	// met and traces are the observability sinks (observe.go): latency
 	// histograms plus the retained span log behind Manager.Trace. met is
@@ -213,11 +259,21 @@ func NewManager(cfg Config) *Manager {
 		newUniverse:  newUniverse,
 		store:        cfg.Store,
 		defaultModel: cfg.DefaultFaultModel,
+		maxQueue:     cfg.MaxQueue,
 		met:          newMetrics(),
 		inflight:     make(map[string]*job),
 		cache:        newResultCache(entries),
 		universes:    make(map[string]*universeFlight),
-		ctr:          Counters{WorkersTotal: w, CacheCapacity: entries},
+		ctr:          Counters{WorkersTotal: w, CacheCapacity: entries, QueueLimit: cfg.MaxQueue},
+	}
+	if cfg.QuotaRPS > 0 {
+		burst := cfg.QuotaBurst
+		if burst <= 0 {
+			// Default burst: a couple of seconds of the sustained rate, so
+			// a well-behaved client's startup spike is not shed.
+			burst = int(2 * cfg.QuotaRPS)
+		}
+		m.quota = obs.NewRateLimiter(cfg.QuotaRPS, burst)
 	}
 	if cfg.TraceDepth >= 0 {
 		depth := cfg.TraceDepth
@@ -412,6 +468,13 @@ func (m *Manager) submitLocked(c *circuit.Circuit, hash, id string, req exp.Anal
 		m.cache.add(disk)
 		return disk.info, true, nil
 	}
+	if m.maxQueue > 0 && len(m.queue) >= m.maxQueue {
+		// Shedding happens last: only a request that would actually
+		// enqueue new computation is refused; everything answerable from
+		// caches or coalescing was already answered above.
+		m.ctr.ShedQueue++
+		return JobInfo{}, false, ErrOverloaded
+	}
 
 	m.ctr.Computed++
 	j := &job{
@@ -426,6 +489,7 @@ func (m *Manager) submitLocked(c *circuit.Circuit, hash, id string, req exp.Anal
 		circuit: c,
 		req:     req,
 		done:    make(chan struct{}),
+		queued:  obs.StartTimer(),
 	}
 	if m.traces != nil {
 		j.rec = obs.NewRecorder()
@@ -487,6 +551,7 @@ func (m *Manager) dispatchLocked() {
 		if m.used > m.ctr.PeakWorkersInUse {
 			m.ctr.PeakWorkersInUse = m.used
 		}
+		m.met.admitWait.Observe(j.queued.Seconds())
 		j.info.State = JobRunning
 		j.info.Workers = grant
 		m.publishStateLocked(j) // running, with the worker grant

@@ -26,6 +26,13 @@ type metrics struct {
 	// storeDur observes store I/O latency, labeled tier_op
 	// (e.g. "results_get", "universes_put").
 	storeDur *obs.HistogramVec
+	// admitWait observes the admission wait — the time a job spends in
+	// the accept queue between submit and its worker grant (§15).
+	admitWait *obs.Histogram
+	// httpDur observes request latency per route class (httpClasses).
+	// The label set is preset so the /metrics series list is complete
+	// and stable from the first scrape.
+	httpDur *obs.HistogramVec
 
 	// streaming counts open SSE event subscriptions — the one live gauge
 	// the scheduler state cannot answer (queue depth, inflight jobs and
@@ -33,11 +40,18 @@ type metrics struct {
 	streaming obs.Gauge
 }
 
+// httpClasses is the fixed request-class label universe of httpDur: one
+// class per route. For "events" the recorded duration is the SSE stream
+// lifetime, not a handler turnaround.
+var httpClasses = []string{"submit", "sweep", "status", "result", "events", "healthz", "metrics"}
+
 func newMetrics() *metrics {
 	return &metrics{
-		jobDur:   obs.NewHistogram(nil),
-		stageDur: obs.NewHistogramVec(nil),
-		storeDur: obs.NewHistogramVec(nil),
+		jobDur:    obs.NewHistogram(nil),
+		stageDur:  obs.NewHistogramVec(nil),
+		storeDur:  obs.NewHistogramVec(nil),
+		admitWait: obs.NewHistogram(nil),
+		httpDur:   obs.NewHistogramVec(nil).Preset(httpClasses...),
 	}
 }
 
